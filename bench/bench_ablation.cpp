@@ -1,0 +1,146 @@
+// Ablation studies for the algorithm-engineering choices §4 describes:
+//
+//   A. pBD sampling rate — the "sample just 5% of the vertices" trade-off:
+//      sweep the source-sampling fraction and report runtime vs final
+//      modularity (exact scoring as the reference point).
+//   B. pBD biconnected-components bridge prefilter (optional step 1).
+//   C. pBD parallelism-granularity switch threshold (semi-automatic switch
+//      from fine-grained sampled scoring to per-component exact scoring).
+//   D. pLA local metric and seed order (degree vs clustering coefficient,
+//      random vs BFS seeds) and the top-level amalgamation pass.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "snap/community/pbd.hpp"
+#include "snap/community/pla.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/community/spectral_modularity.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/util/timer.hpp"
+
+namespace {
+
+using namespace snap;
+using namespace snapbench;
+
+CSRGraph workload() {
+  // Community-structured small-world instance; size follows SNAP_SCALE.
+  // Kept modest: the ablation grid re-runs pBD ~10 times, including one
+  // configuration with fully exact per-iteration scoring (O(n·m) each).
+  const auto n = static_cast<vid_t>(1000 * scale() * 4);
+  return gen::planted_partition(n, std::max<vid_t>(4, n / 120), 10.0, 1.0,
+                                77);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablations: pBD / pLA design choices (§4)");
+  const CSRGraph g = workload();
+  std::printf("workload: planted partition n=%lld m=%lld\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()));
+
+  const eid_t budget = g.num_edges() / 6;
+
+  std::printf("\n[A] pBD source-sampling fraction (exact_threshold=0 keeps "
+              "sampling on):\n");
+  std::printf("    %-12s %10s %10s %8s\n", "fraction", "time (s)", "q",
+              "iters");
+  for (double frac : {0.02, 0.05, 0.10, 0.25}) {
+    PBDParams p;
+    p.sample_fraction = frac;
+    p.exact_threshold = 16;
+    p.stop.max_iterations = budget;
+    WallTimer t;
+    const auto r = pbd(g, p);
+    std::printf("    %-12.2f %10.2f %10.3f %8lld\n", frac, t.elapsed_s(),
+                r.modularity, static_cast<long long>(r.iterations));
+  }
+  {
+    PBDParams p;
+    p.exact_threshold = g.num_vertices();  // always exact: the reference
+    p.stop.max_iterations = budget;
+    WallTimer t;
+    const auto r = pbd(g, p);
+    std::printf("    %-12s %10.2f %10.3f %8lld\n", "exact", t.elapsed_s(),
+                r.modularity, static_cast<long long>(r.iterations));
+  }
+
+  std::printf("\n[B] pBD bridge prefilter (biconnected components, optional "
+              "step 1):\n");
+  for (bool pre : {false, true}) {
+    PBDParams p;
+    p.bicc_prefilter = pre;
+    p.stop.max_iterations = budget;
+    WallTimer t;
+    const auto r = pbd(g, p);
+    std::printf("    prefilter=%-5s %10.2f s   q=%.3f\n",
+                pre ? "on" : "off", t.elapsed_s(), r.modularity);
+  }
+
+  std::printf("\n[C] pBD granularity-switch threshold (component size below "
+              "which scoring is exact/coarse):\n");
+  for (vid_t thr : {vid_t{16}, vid_t{128}, vid_t{1024}}) {
+    PBDParams p;
+    p.exact_threshold = thr;
+    p.stop.max_iterations = budget;
+    WallTimer t;
+    const auto r = pbd(g, p);
+    std::printf("    threshold=%-6lld %10.2f s   q=%.3f\n",
+                static_cast<long long>(thr), t.elapsed_s(), r.modularity);
+  }
+
+  std::printf("\n[D] pLA variants:\n");
+  struct Variant {
+    const char* name;
+    PLAParams p;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"degree metric, random seeds", {}});
+  {
+    PLAParams p;
+    p.metric = PLAMetric::kClusteringCoeff;
+    variants.push_back({"clustering metric", p});
+  }
+  {
+    PLAParams p;
+    p.bfs_seed_order = true;
+    variants.push_back({"BFS seed order", p});
+  }
+  {
+    PLAParams p;
+    p.amalgamate = false;
+    variants.push_back({"no top-level amalgamation", p});
+  }
+  for (const auto& v : variants) {
+    WallTimer t;
+    const auto r = pla(g, v.p);
+    std::printf("    %-28s %8.2f s   q=%.3f  clusters=%lld\n", v.name,
+                t.elapsed_s(), r.modularity,
+                static_cast<long long>(r.clustering.num_clusters));
+  }
+
+  std::printf("\n[E] §6 future-work extension — spectral modularity vs the "
+              "greedy schemes:\n");
+  {
+    WallTimer t;
+    const auto sm = spectral_modularity(g);
+    std::printf("    %-28s %8.2f s   q=%.3f  clusters=%lld\n",
+                "spectral (leading eigvec)", t.elapsed_s(), sm.modularity,
+                static_cast<long long>(sm.clustering.num_clusters));
+    t.reset();
+    const auto ma = pma(g);
+    std::printf("    %-28s %8.2f s   q=%.3f  clusters=%lld\n",
+                "pMA (greedy agglomerative)", t.elapsed_s(), ma.modularity,
+                static_cast<long long>(ma.clustering.num_clusters));
+  }
+
+  std::printf(
+      "\nExpected: sampling at ~5%% matches exact quality at a fraction of\n"
+      "the cost (the paper's headline engineering win); the prefilter and\n"
+      "the granularity switch trade constant factors, not quality; pLA's\n"
+      "amalgamation recovers most of the modularity its local phase leaves\n"
+      "on the table.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 3(a) reproduction: speedup of pBD over the GN algorithm on the
+// real-world instances, decomposed exactly as the paper decomposes it:
+//
+//   overall = (algorithm-engineering speedup: single-thread pBD vs GN)
+//           x (parallel speedup of pBD at the full thread count)
+//
+// Both algorithms run the same number of divisive iterations, so the ratio
+// is per-unit-work; the paper's single-thread ratios range from ~8x (PPI,
+// small) to ~26x (NDwww), compounding to up to ~343x overall.
+//
+// Full GN on the larger instances is infeasible by design (that is the
+// paper's point); instance sizes follow SNAP_SCALE and the iteration count
+// is fixed, which preserves the per-iteration cost ratio the figure shows.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "snap/community/gn.hpp"
+#include "snap/community/pbd.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/timer.hpp"
+
+int main() {
+  using namespace snap;
+  using namespace snapbench;
+  print_header("Figure 3(a): pBD vs GN — algorithm engineering x parallelism");
+
+  // GN-feasible sizes: cap every instance to at most gn_cap vertices.
+  const double s = scale();
+  const auto gn_cap = static_cast<vid_t>(6000 * s * 4);  // ~6k at default
+  auto shrink = [&](vid_t n) { return std::min<vid_t>(n, gn_cap); };
+
+  struct Inst {
+    const char* label;
+    CSRGraph g;
+  };
+  std::vector<Inst> insts;
+  insts.push_back({"PPI", rmat_fold(shrink(scaled(8503)),
+                                    scaled(8503) <= gn_cap ? std::max<eid_t>(64, static_cast<eid_t>(32191 * s))
+                                                           : gn_cap * 4,
+                                    false, 101)});
+  insts.push_back(
+      {"Citations", rmat_fold(shrink(scaled(27400)), gn_cap * 6, false, 102)});
+  insts.push_back({"DBLP", gen::planted_partition(
+                               shrink(scaled(310138)),
+                               std::max<vid_t>(4, shrink(scaled(310138)) / 150),
+                               5.6, 1.0, 103)});
+  insts.push_back(
+      {"NDwww", rmat_fold(shrink(scaled(325729)), gn_cap * 4, false, 104)});
+  insts.push_back(
+      {"RMAT-SF", rmat_fold(shrink(scaled(400000)), gn_cap * 4, false, 106)});
+
+  const eid_t iters = 6;  // same divisive work for both algorithms
+  const int pmax = max_threads();
+
+  std::printf("%-10s %8s %8s | %10s %10s %8s | %9s %8s\n", "Instance", "n",
+              "m", "GN 1t (s)", "pBD 1t(s)", "eng x", "par x", "overall");
+  for (auto& inst : insts) {
+    DivisiveParams stop;
+    stop.max_iterations = iters;
+    double gn_s, pbd1_s, pbdp_s;
+    {
+      parallel::ThreadScope scope(1);
+      WallTimer w;
+      (void)girvan_newman(inst.g, stop);
+      gn_s = w.elapsed_s();
+    }
+    PBDParams bp;
+    bp.stop = stop;
+    {
+      parallel::ThreadScope scope(1);
+      WallTimer w;
+      (void)pbd(inst.g, bp);
+      pbd1_s = w.elapsed_s();
+    }
+    {
+      parallel::ThreadScope scope(pmax);
+      WallTimer w;
+      (void)pbd(inst.g, bp);
+      pbdp_s = w.elapsed_s();
+    }
+    const double eng = gn_s / pbd1_s;
+    const double par = pbd1_s / pbdp_s;
+    std::printf("%-10s %8lld %8lld | %10.2f %10.3f %8.1f | %9.2f %8.1f\n",
+                inst.label, static_cast<long long>(inst.g.num_vertices()),
+                static_cast<long long>(inst.g.num_edges()), gn_s, pbd1_s, eng,
+                par, eng * par);
+  }
+  std::printf(
+      "\nPaper shape: engineering speedup grows with instance size (~8x on\n"
+      "the small PPI up to ~26x on NDwww); multiplied by a ~13x parallel\n"
+      "speedup it reaches ~343x overall on the T2000.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Google-benchmark micro suite for the SNAP kernels (§3): each kernel is
+// timed on an R-MAT instance (skewed degrees) and an Erdős–Rényi instance
+// of the same size (uniform degrees).  The paper's claim is that the
+// degree-aware kernels perform "mostly independent of the graph degree
+// distribution" — compare the paired timings.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "snap/centrality/betweenness.hpp"
+#include "snap/community/modularity.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/biconnected.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/kernels/mst.hpp"
+#include "snap/kernels/sssp.hpp"
+
+namespace {
+
+using namespace snap;
+
+constexpr int kScale = 15;  // 32k vertices, 256k edges: fast but nontrivial
+
+const CSRGraph& rmat_instance() {
+  static const CSRGraph g = [] {
+    gen::RmatParams p;
+    p.scale = kScale;
+    p.edge_factor = 8;
+    return gen::rmat(p);
+  }();
+  return g;
+}
+
+const CSRGraph& er_instance() {
+  static const CSRGraph g =
+      gen::erdos_renyi(vid_t{1} << kScale, eid_t{8} << kScale, false, 7);
+  return g;
+}
+
+const CSRGraph& pick(bool skewed) {
+  return skewed ? rmat_instance() : er_instance();
+}
+
+void BM_BFS(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs(g, 0));
+  }
+  state.counters["MTEPS"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BFS)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_BFSSerial(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_serial(g, 0));
+  }
+}
+BENCHMARK(BM_BFSSerial)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components(g));
+  }
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_Biconnected(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(biconnected_components(g));
+  }
+}
+BENCHMARK(BM_Biconnected)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_BoruvkaMST(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boruvka_mst(g));
+  }
+}
+BENCHMARK(BM_BoruvkaMST)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_DeltaStepping(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta_stepping(g, 0));
+  }
+}
+BENCHMARK(BM_DeltaStepping)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_ApproxEdgeBetweenness(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  // 0.5% of vertices as sources — the pBD inner kernel at sampling rate.
+  std::vector<vid_t> sources;
+  for (vid_t v = 0; v < g.num_vertices(); v += 200) sources.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approx_edge_betweenness(g, alive, sources));
+  }
+}
+BENCHMARK(BM_ApproxEdgeBetweenness)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_Modularity(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  std::vector<vid_t> mem(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t v = 0; v < mem.size(); ++v)
+    mem[v] = static_cast<vid_t>(v % 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(modularity(g, mem));
+  }
+}
+BENCHMARK(BM_Modularity)->Arg(0)->Arg(1)->ArgName("rmat");
+
+void BM_PmaAgglomeration(benchmark::State& state) {
+  // Smaller instance: pMA runs a full dendrogram per iteration.
+  static const CSRGraph g = gen::planted_partition(8192, 64, 7.0, 1.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pma(g));
+  }
+}
+BENCHMARK(BM_PmaAgglomeration);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const CSRGraph& g = pick(state.range(0) != 0);
+  const EdgeList& edges = g.edges();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CSRGraph::from_edges(g.num_vertices(), edges, false));
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(0)->Arg(1)->ArgName("rmat");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table 1 reproduction: edge cut of a balanced 32-way partitioning of three
+// ~200k-vertex / ~1M-edge instances (road network, sparse random graph,
+// synthetic small-world graph) under four partitioners:
+//   Metis-kway  -> multilevel_kway            (direct k-way multilevel)
+//   Metis-recur -> multilevel_recursive_bisection
+//   Chaco-RQI   -> spectral_partition(kRQI)
+//   Chaco-LAN   -> spectral_partition(kLanczos)
+//
+// Expected shape (paper): road cut ≈ 2-4k; random and small-world cuts are
+// nearly two orders of magnitude larger (~0.7-0.8M of 1M edges); the
+// spectral methods fail outright on the small-world instance.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "snap/partition/multilevel.hpp"
+#include "snap/partition/spectral.hpp"
+#include "snap/util/timer.hpp"
+
+namespace {
+
+using namespace snap;
+using namespace snapbench;
+
+std::string cell(const PartitionResult& r) {
+  if (!r.success) return "-";
+  char buf[32];
+  // A '!' flags a partition whose balance exceeded 1.2 — a cheap cut from
+  // a lopsided split would not be comparable to the paper's balanced runs.
+  std::snprintf(buf, sizeof(buf), "%lld%s", static_cast<long long>(r.edge_cut),
+                r.imbalance > 1.2 ? "!" : "");
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 1: edge cut, balanced 32-way partitioning (4 partitioners)");
+
+  const vid_t side = static_cast<vid_t>(
+      std::llround(std::sqrt(static_cast<double>(scaled(200000)))));
+  struct Row {
+    std::string name;
+    CSRGraph g;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"Physical (road)", gen::grid_road(side, side, 0.12, 0.05, 1)});
+  {
+    const vid_t n = scaled(200000);
+    const auto m = static_cast<eid_t>(5 * n);
+    rows.push_back({"Sparse random", gen::erdos_renyi(n, m, false, 2)});
+    rows.push_back({"Small-world", rmat_fold(n, m, false, 3)});
+  }
+
+  constexpr std::int32_t kParts = 32;
+  std::printf("%-18s %12s %12s %12s %12s   (n, m)\n", "Graph Instance",
+              "Metis-kway", "Metis-recur", "Chaco-RQI", "Chaco-LAN");
+  for (const auto& row : rows) {
+    WallTimer t;
+    const auto kway = multilevel_kway(row.g, kParts);
+    const auto recur = multilevel_recursive_bisection(row.g, kParts);
+    SpectralParams sp;
+    const auto rqi = spectral_partition(row.g, kParts, SpectralMethod::kRQI, sp);
+    const auto lan =
+        spectral_partition(row.g, kParts, SpectralMethod::kLanczos, sp);
+    std::printf("%-18s %12s %12s %12s %12s   (n=%lld, m=%lld)  [%.1fs]\n",
+                row.name.c_str(), cell(kway).c_str(), cell(recur).c_str(),
+                cell(rqi).c_str(), cell(lan).c_str(),
+                static_cast<long long>(row.g.num_vertices()),
+                static_cast<long long>(row.g.num_edges()), t.elapsed_s());
+  }
+  std::printf(
+      "\nPaper (full scale): road 1,856/1,703/2,937/3,913; random ~0.7M;\n"
+      "small-world ~0.7-0.8M with both Chaco columns failing ('-').\n");
+  return 0;
+}

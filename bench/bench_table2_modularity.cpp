@@ -1,0 +1,118 @@
+// Table 2 reproduction: modularity achieved by GN / pBD / pMA / pLA on six
+// small community-structured networks, against the best-known score.
+//
+// The Karate instance is the real Zachary graph (embedded).  The other five
+// real networks are not redistributable offline, so each is replaced by a
+// planted-partition synthetic matched in vertex count, edge count and
+// approximate community count (DESIGN.md §2).  The check is the paper's
+// *pattern*: pBD tracks GN closely (sometimes beating it on the larger
+// instances), pMA/pLA land in the same band, all well above the q > 0.3
+// significance threshold.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "snap/community/anneal.hpp"
+#include "snap/community/gn.hpp"
+#include "snap/community/pbd.hpp"
+#include "snap/community/pla.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/util/timer.hpp"
+
+namespace {
+
+using namespace snap;
+using namespace snapbench;
+
+struct Instance {
+  std::string name;
+  CSRGraph g;
+  double paper_gn;
+  double paper_pbd, paper_pma, paper_pla;
+  double best_known;
+};
+
+std::vector<Instance> make_instances() {
+  const double s = scale();
+  auto N = [&](vid_t n) {
+    // Table 2 graphs are already small; only shrink the two large ones.
+    return n <= 500 ? n
+                    : std::max<vid_t>(500, static_cast<vid_t>(
+                                               static_cast<double>(n) * s));
+  };
+  std::vector<Instance> v;
+  v.push_back({"Karate", gen::karate_club(), 0.401, 0.397, 0.381, 0.397,
+               0.431});
+  // n, m, approximate community count from the literature:
+  // books (105, 441, ~3), jazz (198, 2742, ~4), metabolic (453, 2025, ~10),
+  // e-mail (1133, 5451, ~10), PGP key signing (10680, 24316, ~100).
+  auto planted = [&](vid_t n, eid_t m, vid_t k, std::uint64_t seed,
+                     double out_frac = 0.15) {
+    const double avg = 2.0 * static_cast<double>(m) / static_cast<double>(n);
+    return gen::planted_partition(n, k, avg * (1.0 - out_frac),
+                                  avg * out_frac, seed);
+  };
+  v.push_back({"Political books*", planted(105, 441, 3, 11), 0.509, 0.502,
+               0.498, 0.487, 0.527});
+  v.push_back({"Jazz musicians*", planted(198, 2742, 4, 12), 0.405, 0.405,
+               0.439, 0.398, 0.445});
+  v.push_back({"Metabolic*", planted(453, 2025, 10, 13), 0.403, 0.402, 0.402,
+               0.402, 0.435});
+  v.push_back({"E-mail*", planted(N(1133), static_cast<eid_t>(5451 * (N(1133) / 1133.0)),
+                                  10, 14),
+               0.532, 0.547, 0.494, 0.487, 0.574});
+  // PGP's best-known q is 0.855 — communities are near-separate, so the
+  // synthetic uses a small inter-community fraction (which also keeps the
+  // GN baseline tractable at bench scale).
+  v.push_back({"Key signing*",
+               planted(N(10680), static_cast<eid_t>(24316 * (N(10680) / 10680.0)),
+                       std::max<vid_t>(10, N(10680) / 100), 15, 0.07),
+               0.816, 0.846, 0.733, 0.794, 0.855});
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 2: modularity of GN vs pBD / pMA / pLA (* = synthetic "
+               "stand-in, see DESIGN.md)");
+  std::printf(
+      "%-18s %6s | %7s %7s %7s %7s | %7s %7s   paper(GN/pBD/pMA/pLA)\n",
+      "Network", "n", "GN", "pBD", "pMA", "pLA", "SA", "paperBK");
+
+  for (auto& inst : make_instances()) {
+    DivisiveParams stop;
+    stop.stall_iterations =
+        std::max<eid_t>(200, inst.g.num_edges() / 8);
+    WallTimer t;
+    const auto gn = girvan_newman(inst.g, stop);
+    PBDParams bp;
+    bp.stop = stop;
+    const auto bd = pbd(inst.g, bp);
+    const auto ma = pma(inst.g);
+    const auto la = pla(inst.g);
+    // Our computed "best known" column: simulated annealing (the expensive
+    // non-greedy reference the paper's column comes from), on instances
+    // small enough for it.
+    char sa_cell[16] = "-";
+    if (inst.g.num_vertices() <= 1200) {
+      AnnealParams ap;
+      ap.restarts = 2;
+      std::snprintf(sa_cell, sizeof(sa_cell), "%.3f",
+                    anneal_modularity(inst.g, ap).modularity);
+    }
+    std::printf(
+        "%-18s %6lld | %7.3f %7.3f %7.3f %7.3f | %7s %7.3f   "
+        "(%.3f/%.3f/%.3f/%.3f)  [%.1fs]\n",
+        inst.name.c_str(), static_cast<long long>(inst.g.num_vertices()),
+        gn.modularity, bd.modularity, ma.modularity, la.modularity, sa_cell,
+        inst.best_known, inst.paper_gn, inst.paper_pbd, inst.paper_pma,
+        inst.paper_pla, t.elapsed_s());
+  }
+  std::printf(
+      "\nShape check: pBD ≈ GN on every instance; all four algorithms find\n"
+      "significant structure (q > 0.3); best-known stays an upper bound on\n"
+      "the real networks (synthetics may differ in absolute q).\n");
+  return 0;
+}

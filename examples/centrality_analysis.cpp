@@ -1,0 +1,91 @@
+// Centrality analysis of a protein-interaction-style network — the §3 /
+// HiCOMB use case: find the hubs, the brokers (high betweenness), and the
+// articulation points whose loss disconnects the network, then check the
+// paper's observation that low-degree articulation points are the
+// interesting ones.
+//
+//   ./centrality_analysis
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "snap/centrality/approx_betweenness.hpp"
+#include "snap/centrality/betweenness.hpp"
+#include "snap/centrality/closeness.hpp"
+#include "snap/centrality/degree.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/biconnected.hpp"
+#include "snap/util/timer.hpp"
+
+int main() {
+  using namespace snap;
+
+  // PPI-like instance: power-law degrees at the human-interactome scale.
+  gen::RmatParams p;
+  p.scale = 13;  // 8,192 ≈ the paper's 8,503-protein network
+  p.m = 32191;
+  p.seed = 7;
+  const CSRGraph g = gen::rmat(p);
+  std::printf("protein-interaction-like network: n=%lld m=%lld\n\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()));
+
+  auto top5 = [&](const std::vector<double>& score, const char* label) {
+    std::vector<vid_t> idx(score.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<vid_t>(i);
+    std::partial_sort(idx.begin(), idx.begin() + 5, idx.end(),
+                      [&](vid_t a, vid_t b) { return score[a] > score[b]; });
+    std::printf("%s:", label);
+    for (int i = 0; i < 5; ++i)
+      std::printf("  v%lld (%.3g)", static_cast<long long>(idx[i]),
+                  score[static_cast<std::size_t>(idx[i])]);
+    std::printf("\n");
+  };
+
+  WallTimer t;
+  top5(degree_centrality(g), "top degree       ");
+  std::printf("  [degree: %.2fs]\n", t.elapsed_s());
+
+  t.reset();
+  top5(closeness_centrality_sampled(g, 256, 1), "top closeness    ");
+  std::printf("  [closeness (sampled): %.2fs]\n", t.elapsed_s());
+
+  t.reset();
+  const BetweennessScores bc = betweenness_centrality(g);
+  top5(bc.vertex, "top betweenness  ");
+  std::printf("  [exact betweenness: %.2fs]\n\n", t.elapsed_s());
+
+  // Adaptive sampling estimate for the top-betweenness vertex: the paper's
+  // claim is <20% error from ~5% of the sources for top-1% entities.
+  const auto champion = static_cast<vid_t>(
+      std::max_element(bc.vertex.begin(), bc.vertex.end()) -
+      bc.vertex.begin());
+  t.reset();
+  AdaptiveBCParams ap;
+  ap.seed = 3;
+  const auto est = adaptive_betweenness_vertex(g, champion, ap);
+  const double exact = bc.vertex[static_cast<std::size_t>(champion)];
+  std::printf("adaptive estimate for v%lld: %.0f vs exact %.0f "
+              "(%.1f%% error, %lld/%lld sources, %.2fs)\n\n",
+              static_cast<long long>(champion), est.estimate, exact,
+              100.0 * std::abs(est.estimate - exact) / exact,
+              static_cast<long long>(est.samples_used),
+              static_cast<long long>(g.num_vertices()), t.elapsed_s());
+
+  // Biconnected preprocessing: articulation proteins and bridges.
+  const BiconnectedResult bcc = biconnected_components(g);
+  const auto arts = bcc.articulation_points();
+  eid_t low_degree_arts = 0;
+  for (vid_t v : arts)
+    if (g.degree(v) <= 3) ++low_degree_arts;
+  std::printf("articulation points: %zu (%lld of them low-degree)\n",
+              arts.size(), static_cast<long long>(low_degree_arts));
+  std::printf("bridges: %zu, biconnected components: %lld\n",
+              bcc.bridges().size(),
+              static_cast<long long>(bcc.num_bicomps));
+  std::printf(
+      "\n§3: low-degree articulation points in PPI networks are unlikely to\n"
+      "be essential — biconnected decomposition finds them in linear time,\n"
+      "orders of magnitude cheaper than centrality ranking.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Community detection on a collaboration-style network: runs the paper's
+// three parallel algorithms (pBD, pMA, pLA) plus the Girvan–Newman baseline
+// and compares modularity, cluster counts and runtime — a miniature of the
+// paper's Table 2 workflow, on a graph with known ground truth.
+//
+//   ./community_detection [n] [communities]
+#include <cstdio>
+#include <cstdlib>
+
+#include "snap/community/gn.hpp"
+#include "snap/community/modularity.hpp"
+#include "snap/community/pbd.hpp"
+#include "snap/community/pla.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/metrics/metrics.hpp"
+
+namespace {
+
+using namespace snap;
+
+/// Fraction of vertex pairs on which clustering and ground truth agree.
+double agreement(const std::vector<vid_t>& got,
+                 const std::vector<vid_t>& truth) {
+  std::int64_t same = 0, total = 0;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    for (std::size_t j = i + 1; j < got.size(); ++j) {
+      same += ((got[i] == got[j]) == (truth[i] == truth[j]));
+      ++total;
+    }
+  return static_cast<double>(same) / static_cast<double>(total);
+}
+
+void report(const char* name, const CommunityResult& r,
+            const std::vector<vid_t>& truth) {
+  std::printf("%-28s q=%.3f  clusters=%-5lld  truth-agreement=%.3f  %.2fs\n",
+              name, r.modularity,
+              static_cast<long long>(r.clustering.num_clusters),
+              agreement(r.clustering.membership, truth), r.seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vid_t n = argc > 1 ? std::atoll(argv[1]) : 800;
+  const vid_t k = argc > 2 ? std::atoll(argv[2]) : 8;
+
+  // A collaboration network: k working groups, dense inside, sparse across.
+  std::vector<vid_t> truth;
+  const auto g = snap::gen::planted_partition(n, k, 10.0, 1.0, 42, &truth);
+  std::printf("collaboration network: n=%lld m=%lld, %lld planted groups\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()),
+              static_cast<long long>(k));
+  std::printf("ground-truth modularity: %.3f\n\n",
+              snap::modularity(g, truth));
+
+  // Exploratory metrics first — §3: assortativity and clustering flag
+  // community structure before we pick an algorithm.
+  std::printf("clustering coefficient %.3f, assortativity %+.3f\n\n",
+              snap::average_clustering_coefficient(g),
+              snap::assortativity_coefficient(g));
+
+  // The Girvan–Newman baseline (exact edge betweenness each iteration).
+  snap::DivisiveParams stop;
+  stop.stall_iterations = g.num_edges() / 4;
+  report("Girvan-Newman (baseline)", snap::girvan_newman(g, stop), truth);
+
+  // pBD: approximate-betweenness divisive (Algorithm 1).
+  snap::PBDParams bp;
+  bp.stop = stop;
+  report("pBD (divisive, approx BC)", snap::pbd(g, bp), truth);
+
+  // pMA: greedy agglomerative on SNAP structures (Algorithm 2).
+  report("pMA (agglomerative)", snap::pma(g), truth);
+
+  // pLA: greedy local aggregation (Algorithm 3), both local metrics.
+  report("pLA (local, degree metric)", snap::pla(g), truth);
+  snap::PLAParams lp;
+  lp.metric = snap::PLAMetric::kClusteringCoeff;
+  report("pLA (local, clustering metric)", snap::pla(g, lp), truth);
+
+  std::printf(
+      "\nExpected pattern (paper §5): pBD tracks GN's quality at a fraction\n"
+      "of the cost; pMA and pLA are faster still with a small quality gap.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Partitioning vs community detection — the §2.2 argument, runnable:
+// balanced edge-cut partitioning works beautifully on physical topologies
+// and falls apart on small-world networks, where modularity-based community
+// detection is the right tool.
+//
+//   ./partition_vs_community
+#include <cstdio>
+
+#include "snap/community/modularity.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/partition/eval.hpp"
+#include "snap/partition/multilevel.hpp"
+#include "snap/partition/spectral.hpp"
+#include "snap/util/timer.hpp"
+
+namespace {
+
+using namespace snap;
+
+void study(const char* name, const CSRGraph& g, std::int32_t k) {
+  std::printf("--- %s (n=%lld, m=%lld), %d-way ---\n", name,
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()), k);
+
+  WallTimer t;
+  const auto ml = multilevel_kway(g, k);
+  std::printf("  multilevel k-way   cut=%-8lld balance=%.2f  (%.1fs)\n",
+              static_cast<long long>(ml.edge_cut), ml.imbalance,
+              t.elapsed_s());
+
+  t.reset();
+  const auto sp = spectral_partition(g, k, SpectralMethod::kLanczos);
+  if (sp.success) {
+    std::printf("  spectral (Lanczos) cut=%-8lld balance=%.2f  (%.1fs)\n",
+                static_cast<long long>(sp.edge_cut), sp.imbalance,
+                t.elapsed_s());
+  } else {
+    std::printf("  spectral (Lanczos) FAILED: %s\n", sp.note.c_str());
+  }
+
+  // What fraction of edges did the balanced partition cut?
+  std::printf("  cut fraction: %.1f%% of all edges\n",
+              100.0 * static_cast<double>(ml.edge_cut) /
+                  static_cast<double>(g.num_edges()));
+
+  // Modularity view of the same graph.
+  t.reset();
+  const auto comm = pma(g);
+  std::vector<vid_t> as_clusters(ml.part.begin(), ml.part.end());
+  std::printf("  modularity: balanced partition %.3f vs pMA communities "
+              "%.3f in %lld clusters (%.1fs)\n\n",
+              modularity(g, as_clusters), comm.modularity,
+              static_cast<long long>(comm.clustering.num_clusters),
+              t.elapsed_s());
+}
+
+}  // namespace
+
+int main() {
+  using namespace snap;
+  std::printf("Partitioning vs community detection (§2.2, Table 1 in"
+              " miniature)\n\n");
+
+  // A physical (road) topology: nearly Euclidean, constant degrees.
+  study("road network", gen::grid_road(120, 120), 8);
+
+  // A small-world network of the same order: skewed degrees, low diameter.
+  study("small-world network",
+        [] {
+          gen::RmatParams p;
+          p.scale = 14;
+          p.edge_factor = 4;
+          return gen::rmat(p);
+        }(),
+        8);
+
+  std::printf(
+      "Expected: the road cut is a tiny fraction of m and both partitioners\n"
+      "agree; the small-world cut approaches m itself — balanced edge cut is\n"
+      "the wrong objective there, and modularity-based clustering (pMA) finds\n"
+      "the latent structure instead.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Exploratory analysis of a web-crawl-like directed network (the NDwww
+// instance class of Table 3): peel the k-core structure to find the dense
+// nucleus, classify pages with attribute columns, and rank the nucleus by
+// betweenness — the §3 "systematic computational study ... using a
+// discriminating selection of topological metrics" workflow end to end.
+//
+//   ./web_crawl_analysis
+#include <algorithm>
+#include <cstdio>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/graph/attributes.hpp"
+#include "snap/graph/reorder.hpp"
+#include "snap/graph/subgraph.hpp"
+#include "snap/kernels/kcore.hpp"
+#include "snap/metrics/metrics.hpp"
+#include "snap/metrics/path_length.hpp"
+#include "snap/util/timer.hpp"
+
+int main() {
+  using namespace snap;
+
+  // NDwww-like synthetic: power-law directed crawl, folded to undirected
+  // for the structural analysis (as §5 does).
+  gen::RmatParams p;
+  p.scale = 15;
+  p.edge_factor = 4;
+  p.directed = true;
+  p.seed = 13;
+  const CSRGraph crawl = gen::rmat(p);
+  const CSRGraph g = crawl.as_undirected();
+  std::printf("web crawl: n=%lld pages, m=%lld links\n\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()));
+
+  // 1. k-core decomposition: the degeneracy nucleus of a crawl is its
+  //    densely-linked center; pendant trees (1-core shell) dominate counts.
+  WallTimer t;
+  const KCoreResult kc = kcore_decomposition(g);
+  std::printf("k-core peeling (%.2fs): degeneracy %lld\n", t.elapsed_s(),
+              static_cast<long long>(kc.degeneracy));
+  for (eid_t k : {eid_t{1}, eid_t{2}, kc.degeneracy / 2, kc.degeneracy}) {
+    if (k < 1) continue;
+    std::printf("  vertices with core >= %-4lld : %zu\n",
+                static_cast<long long>(k), kc.shell_at_least(k).size());
+  }
+
+  // 2. Attribute classification: tag each page with its shell, then select
+  //    the nucleus for focused analysis (§1's typed-vertex workflow).
+  AttributeTable pages(static_cast<std::size_t>(g.num_vertices()));
+  pages.add_int_column("core", 0);
+  pages.add_text_column("tier", "periphery");
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    pages.ints("core")[static_cast<std::size_t>(v)] =
+        kc.core[static_cast<std::size_t>(v)];
+    if (kc.core[static_cast<std::size_t>(v)] >= kc.degeneracy / 2)
+      pages.texts("tier")[static_cast<std::size_t>(v)] = "nucleus";
+  }
+  std::vector<vid_t> nucleus;
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    if (pages.texts("tier")[static_cast<std::size_t>(v)] == "nucleus")
+      nucleus.push_back(v);
+  const Subgraph core_sub = induced_subgraph(g, nucleus);
+  std::printf("\nnucleus (core >= %lld): %lld pages, %lld links, density "
+              "%.4f vs whole-crawl %.6f\n",
+              static_cast<long long>(kc.degeneracy / 2),
+              static_cast<long long>(core_sub.graph.num_vertices()),
+              static_cast<long long>(core_sub.graph.num_edges()),
+              average_degree(core_sub.graph) /
+                  std::max<double>(1, core_sub.graph.num_vertices() - 1),
+              average_degree(g) / std::max<double>(1, g.num_vertices() - 1));
+
+  // 3. Exact betweenness on the (small) nucleus — affordable because the
+  //    peeling shrank the instance by orders of magnitude.
+  t.reset();
+  const auto bc = betweenness_centrality(core_sub.graph);
+  std::vector<vid_t> idx(bc.vertex.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<vid_t>(i);
+  const std::size_t top = std::min<std::size_t>(5, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::int64_t>(top),
+                    idx.end(), [&](vid_t a, vid_t b) {
+                      return bc.vertex[static_cast<std::size_t>(a)] >
+                             bc.vertex[static_cast<std::size_t>(b)];
+                    });
+  std::printf("\ntop nucleus brokers by betweenness (%.2fs):\n", t.elapsed_s());
+  for (std::size_t i = 0; i < top; ++i)
+    std::printf("  page %lld  (core %lld, BC %.3g)\n",
+                static_cast<long long>(
+                    core_sub.to_parent[static_cast<std::size_t>(idx[i])]),
+                static_cast<long long>(
+                    kc.core[static_cast<std::size_t>(
+                        core_sub.to_parent[static_cast<std::size_t>(idx[i])])]),
+                bc.vertex[static_cast<std::size_t>(idx[i])]);
+
+  // 4. Cache-layout experiment: hub-first relabeling (§3's data-layout
+  //    theme) and its effect on a BFS-heavy metric pass.
+  t.reset();
+  const PathLengthStats before = sampled_path_length(g, 24, 7);
+  const double t_before = t.elapsed_s();
+  const ReorderedGraph ord = relabel_by_degree(g);
+  t.reset();
+  const PathLengthStats after = sampled_path_length(ord.graph, 24, 7);
+  const double t_after = t.elapsed_s();
+  std::printf("\nhub-first relabeling: sampled path-length pass %.2fs -> "
+              "%.2fs (avg path %.2f vs %.2f; the sampler picks different\n"
+              "source ids after relabeling, the structure is identical)\n",
+              t_before, t_after, before.average, after.average);
+  return 0;
+}

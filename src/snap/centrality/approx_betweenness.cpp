@@ -1,0 +1,122 @@
+#include "snap/centrality/approx_betweenness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "snap/util/rng.hpp"
+
+namespace snap {
+
+namespace {
+
+/// One unweighted Brandes traversal from s; returns per-vertex dependencies
+/// in `delta` and, when `edge_delta` is non-null, per-logical-edge
+/// dependencies.
+void dependencies_from(const CSRGraph& g, vid_t s, std::vector<double>& delta,
+                       std::vector<double>* edge_delta) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), -1);
+  std::vector<double> sigma(static_cast<std::size_t>(n), 0);
+  delta.assign(static_cast<std::size_t>(n), 0);
+  if (edge_delta)
+    edge_delta->assign(static_cast<std::size_t>(g.num_edges()), 0);
+
+  std::vector<vid_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  dist[static_cast<std::size_t>(s)] = 0;
+  sigma[static_cast<std::size_t>(s)] = 1;
+  order.push_back(s);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const vid_t u = order[head];
+    const std::int64_t du = dist[static_cast<std::size_t>(u)];
+    for (vid_t v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] = du + 1;
+        order.push_back(v);
+      }
+      if (dist[static_cast<std::size_t>(v)] == du + 1)
+        sigma[static_cast<std::size_t>(v)] += sigma[static_cast<std::size_t>(u)];
+    }
+  }
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const vid_t w = order[i];
+    const std::int64_t dw = dist[static_cast<std::size_t>(w)];
+    const auto nb = g.neighbors(w);
+    const auto ids = g.edge_ids(w);
+    for (std::size_t j = 0; j < nb.size(); ++j) {
+      const vid_t v = nb[j];
+      if (dist[static_cast<std::size_t>(v)] != dw + 1) continue;
+      const double c = sigma[static_cast<std::size_t>(w)] /
+                       sigma[static_cast<std::size_t>(v)] *
+                       (1.0 + delta[static_cast<std::size_t>(v)]);
+      delta[static_cast<std::size_t>(w)] += c;
+      if (edge_delta)
+        (*edge_delta)[static_cast<std::size_t>(ids[j])] += c;
+    }
+  }
+}
+
+template <typename DependencyOf>
+AdaptiveBCEstimate adaptive_estimate(const CSRGraph& g,
+                                     const AdaptiveBCParams& p,
+                                     bool want_edges,
+                                     DependencyOf&& dependency_of) {
+  const vid_t n = g.num_vertices();
+  const double cutoff = p.cutoff_factor * static_cast<double>(n);
+  const auto max_samples = std::max<vid_t>(
+      1, static_cast<vid_t>(p.max_fraction * static_cast<double>(n)));
+
+  // Sample sources without replacement via a partial Fisher–Yates shuffle.
+  std::vector<vid_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), vid_t{0});
+  SplitMix64 rng(p.seed);
+
+  AdaptiveBCEstimate out;
+  double acc = 0;
+  std::vector<double> delta;
+  std::vector<double> edge_delta;
+  for (vid_t k = 0; k < max_samples; ++k) {
+    const auto pick =
+        k + static_cast<vid_t>(rng.next_bounded(
+                static_cast<std::uint64_t>(n - k)));
+    std::swap(pool[static_cast<std::size_t>(k)],
+              pool[static_cast<std::size_t>(pick)]);
+    const vid_t s = pool[static_cast<std::size_t>(k)];
+    dependencies_from(g, s, delta, want_edges ? &edge_delta : nullptr);
+    acc += dependency_of(delta, edge_delta, s);
+    ++out.samples_used;
+    if (acc > cutoff && out.samples_used < n) {
+      out.converged = true;
+      break;
+    }
+  }
+  // Unbiased scale-up, halved for undirected graphs (each unordered pair is
+  // counted from both endpoints when all sources are sampled).
+  const double dir_scale = g.directed() ? 1.0 : 0.5;
+  out.estimate = dir_scale * static_cast<double>(n) /
+                 static_cast<double>(out.samples_used) * acc;
+  return out;
+}
+
+}  // namespace
+
+AdaptiveBCEstimate adaptive_betweenness_vertex(const CSRGraph& g, vid_t v,
+                                               const AdaptiveBCParams& p) {
+  return adaptive_estimate(
+      g, p, /*want_edges=*/false,
+      [v](const std::vector<double>& delta, const std::vector<double>&,
+          vid_t s) {
+        return s == v ? 0.0 : delta[static_cast<std::size_t>(v)];
+      });
+}
+
+AdaptiveBCEstimate adaptive_betweenness_edge(const CSRGraph& g, eid_t e,
+                                             const AdaptiveBCParams& p) {
+  return adaptive_estimate(
+      g, p, /*want_edges=*/true,
+      [e](const std::vector<double>&, const std::vector<double>& edge_delta,
+          vid_t) { return edge_delta[static_cast<std::size_t>(e)]; });
+}
+
+}  // namespace snap

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Result of an adaptive-sampling betweenness estimate for one entity.
+struct AdaptiveBCEstimate {
+  double estimate = 0;      ///< estimated betweenness score
+  vid_t samples_used = 0;   ///< traversals actually run
+  bool converged = false;   ///< true if the cutoff was hit before n samples
+};
+
+/// Parameters of the adaptive-sampling scheme of Bader, Kintali, Madduri &
+/// Mihail (WAW 2007), which pBD uses: sample source traversals one at a time
+/// and stop as soon as the accumulated dependency of the tracked entity
+/// exceeds `cutoff_factor * n` — high-centrality entities converge after a
+/// small fraction of sources (the paper reports <20% error on the top 1%
+/// after sampling just 5% of the vertices).
+struct AdaptiveBCParams {
+  double cutoff_factor = 2.0;     ///< stop when Σ δ_s > cutoff_factor * n
+  double max_fraction = 1.0;      ///< hard cap on sampled sources (fraction of n)
+  std::uint64_t seed = 1;
+};
+
+/// Estimate the betweenness centrality of vertex `v`.
+AdaptiveBCEstimate adaptive_betweenness_vertex(const CSRGraph& g, vid_t v,
+                                               const AdaptiveBCParams& p = {});
+
+/// Estimate the betweenness centrality of logical edge `e`.
+AdaptiveBCEstimate adaptive_betweenness_edge(const CSRGraph& g, eid_t e,
+                                             const AdaptiveBCParams& p = {});
+
+}  // namespace snap

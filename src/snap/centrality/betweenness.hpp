@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Vertex and edge betweenness scores.  Edge scores are indexed by logical
+/// edge id; for undirected graphs both traversal directions of an edge
+/// accumulate into the same slot.
+struct BetweennessScores {
+  std::vector<double> vertex;  ///< BC(v) = Σ_{s≠v≠t} σ_st(v)/σ_st
+  std::vector<double> edge;    ///< BC(e) = Σ_{s,t} σ_st(e)/σ_st
+};
+
+/// Which parallelization the Brandes computation uses (§3): coarse-grained
+/// distributes the n source traversals over p threads with per-thread
+/// accumulators — O(p(m+n)) memory, lowest synchronization; fine-grained
+/// parallelizes *within* each level-synchronous traversal — O(m+n) memory,
+/// for instances too large for per-thread copies.
+enum class BCGranularity { kCoarse, kFine };
+
+/// Exact betweenness centrality (Brandes) for unweighted traversal.
+/// Directed graphs are traversed along arc direction.
+BetweennessScores betweenness_centrality(
+    const CSRGraph& g, BCGranularity gran = BCGranularity::kCoarse);
+
+/// Exact betweenness for *weighted* graphs: Brandes with a Dijkstra forward
+/// phase per source (coarse-grained parallel over sources).  Falls back to
+/// the BFS kernel when the graph is unweighted.
+BetweennessScores weighted_betweenness_centrality(const CSRGraph& g);
+
+/// Exact *edge* betweenness restricted to alive edges
+/// (`edge_alive[edge_id] != 0`) — the inner computation of the
+/// Girvan–Newman divisive algorithm.  Pass an empty mask for all-alive.
+std::vector<double> edge_betweenness_masked(
+    const CSRGraph& g, const std::vector<std::uint8_t>& edge_alive);
+
+/// Vertex betweenness estimated from traversals rooted at `sources` only,
+/// scaled by n/|sources| — the sampled counterpart of the exact kernel for
+/// when ranking the top brokers is enough.
+std::vector<double> approx_vertex_betweenness(const CSRGraph& g,
+                                              const std::vector<vid_t>& sources);
+
+/// Edge betweenness estimated from traversals rooted at `sources` only,
+/// scaled by n/|sources| — the sampled estimator pBD uses to find the
+/// highest-centrality edge (§4: "sampling just 5% of the vertices").
+/// Respects the alive mask; empty mask = all alive.
+std::vector<double> approx_edge_betweenness(
+    const CSRGraph& g, const std::vector<std::uint8_t>& edge_alive,
+    const std::vector<vid_t>& sources);
+
+}  // namespace snap

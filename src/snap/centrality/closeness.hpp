@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Exact closeness centrality (§2.1): CC(v) = 1 / Σ_u d(v, u), the paper's
+/// global distance-based importance index.  Unreachable pairs are skipped
+/// (the standard convention for graphs that are not connected); an isolated
+/// vertex gets CC = 0.  Uses one BFS (unweighted) or delta-stepping
+/// (weighted) per source, sources distributed over threads (coarse-grained).
+std::vector<double> closeness_centrality(const CSRGraph& g);
+
+/// Sampled approximation (Eppstein–Wang style): estimates the distance sum
+/// of every vertex from `num_samples` random BFS sources.  O(k(m+n)) instead
+/// of O(n(m+n)); the estimator is unbiased for connected graphs.
+std::vector<double> closeness_centrality_sampled(const CSRGraph& g,
+                                                 vid_t num_samples,
+                                                 std::uint64_t seed = 1);
+
+}  // namespace snap

@@ -1,0 +1,36 @@
+#include "snap/centrality/degree.hpp"
+
+#include <atomic>
+
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+std::vector<double> degree_centrality(const CSRGraph& g, bool normalize) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> c(static_cast<std::size_t>(n));
+  const double scale = normalize && n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+  parallel::parallel_for(n, [&](vid_t v) {
+    c[static_cast<std::size_t>(v)] = static_cast<double>(g.degree(v)) * scale;
+  });
+  return c;
+}
+
+std::vector<eid_t> in_degrees(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::atomic<eid_t>> acc(static_cast<std::size_t>(n));
+  parallel::parallel_for(n, [&](vid_t v) {
+    acc[static_cast<std::size_t>(v)].store(0, std::memory_order_relaxed);
+  });
+  parallel::parallel_for(n, [&](vid_t v) {
+    for (vid_t u : g.neighbors(v))
+      acc[static_cast<std::size_t>(u)].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<eid_t> out(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v)
+    out[static_cast<std::size_t>(v)] =
+        acc[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace snap

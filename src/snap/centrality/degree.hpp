@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Degree centrality (§2.1): the simple local measure based on neighborhood
+/// size.  For directed graphs this is the out-degree; use `in_degrees` for
+/// the in-degree vector.
+std::vector<double> degree_centrality(const CSRGraph& g,
+                                      bool normalize = false);
+
+/// In-degree of every vertex (equals degree for undirected graphs).
+std::vector<eid_t> in_degrees(const CSRGraph& g);
+
+}  // namespace snap

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Stress centrality: the absolute number of shortest paths through each
+/// vertex, Σ_{s≠v≠t} σ_st(v) — the unnormalized sibling of betweenness
+/// (Shimbel's original "stress" index, part of the §2.1 centrality family).
+/// Same Brandes-style machinery as betweenness with a multiplicative
+/// dependency recurrence; coarse-grained parallel over sources.
+std::vector<double> stress_centrality(const CSRGraph& g);
+
+}  // namespace snap

@@ -1,0 +1,173 @@
+#include "snap/community/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "snap/community/modularity.hpp"
+#include "snap/util/rng.hpp"
+#include "snap/util/timer.hpp"
+
+namespace snap {
+
+namespace {
+
+CommunityResult anneal_once(const CSRGraph& g, const AnnealParams& params) {
+  WallTimer timer;
+  const vid_t n = g.num_vertices();
+  const double total_w = std::max(g.total_edge_weight(), 1e-300);
+  const double inv_m = 1.0 / total_w;
+  const double inv_2m2 = 1.0 / (2.0 * total_w * total_w);
+
+  // State: membership + per-community total degree.  Community ids are
+  // arbitrary ints in [0, n + #fresh-singletons); normalize at the end.
+  std::vector<vid_t> member(static_cast<std::size_t>(n));
+  if (!params.initial.empty()) {
+    if (params.initial.size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument("anneal warm start size mismatch");
+    member = params.initial;
+  } else {
+    for (vid_t v = 0; v < n; ++v) member[static_cast<std::size_t>(v)] = v;
+  }
+  vid_t max_label = 0;
+  for (vid_t l : member) max_label = std::max(max_label, l);
+
+  std::vector<double> k(static_cast<std::size_t>(n), 0.0);
+  for (vid_t v = 0; v < n; ++v)
+    for (weight_t w : g.weights(v)) k[static_cast<std::size_t>(v)] += w;
+  std::vector<double> comm_deg(static_cast<std::size_t>(max_label) + 2, 0.0);
+  for (vid_t v = 0; v < n; ++v)
+    comm_deg[static_cast<std::size_t>(member[static_cast<std::size_t>(v)])] +=
+        k[static_cast<std::size_t>(v)];
+  // One spare slot acts as the "fresh singleton" target; it is re-labeled
+  // to a new id whenever a move into it is accepted.
+  vid_t spare = max_label + 1;
+  if (static_cast<std::size_t>(spare) >= comm_deg.size())
+    comm_deg.resize(static_cast<std::size_t>(spare) + 1, 0.0);
+
+  SplitMix64 rng(params.seed);
+  std::unordered_map<vid_t, double> link;  // weight from v to each community
+
+  double temp = params.t_start;
+  while (temp > params.t_end) {
+    for (int sweep = 0; sweep < params.sweeps_per_temp; ++sweep) {
+      for (vid_t step = 0; step < n; ++step) {
+        const auto v = static_cast<vid_t>(
+            rng.next_bounded(static_cast<std::uint64_t>(n)));
+        const vid_t from = member[static_cast<std::size_t>(v)];
+        // Link weights from v into adjacent communities.
+        link.clear();
+        const auto nb = g.neighbors(v);
+        const auto ws = g.weights(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          if (nb[i] == v) continue;
+          link[member[static_cast<std::size_t>(nb[i])]] += ws[i];
+        }
+        // Candidate target: a random neighbor community, or (rarely) the
+        // spare singleton slot — the escape move SA needs to split bad
+        // merges.
+        vid_t to;
+        if (nb.empty() || rng.next_bounded(8) == 0) {
+          to = spare;
+        } else {
+          const vid_t u = nb[rng.next_bounded(nb.size())];
+          to = member[static_cast<std::size_t>(u)];
+        }
+        if (to == from) continue;
+
+        const double kv = k[static_cast<std::size_t>(v)];
+        const double w_to = link.count(to) ? link[to] : 0.0;
+        const double w_from = link.count(from) ? link[from] : 0.0;
+        const double d_from_excl =
+            comm_deg[static_cast<std::size_t>(from)] - kv;
+        const double d_to = comm_deg[static_cast<std::size_t>(to)];
+        // ΔQ of moving v: gains the to-links, loses the from-links, plus
+        // the degree-product correction (standard local-move formula).
+        const double delta_q =
+            (w_to - w_from) * inv_m - kv * (d_to - d_from_excl) * inv_2m2;
+
+        const bool accept =
+            delta_q > 0 ||
+            rng.next_double() < std::exp(delta_q / std::max(temp, 1e-300));
+        if (!accept) continue;
+        member[static_cast<std::size_t>(v)] = to;
+        comm_deg[static_cast<std::size_t>(from)] -= kv;
+        comm_deg[static_cast<std::size_t>(to)] += kv;
+        if (to == spare) {
+          // The spare slot became a real singleton; allocate a new spare.
+          ++spare;
+          if (static_cast<std::size_t>(spare) >= comm_deg.size())
+            comm_deg.resize(static_cast<std::size_t>(spare) + 1, 0.0);
+        }
+      }
+    }
+    temp *= params.cooling;
+  }
+
+  // Greedy zero-temperature polish: accept only improving moves until none.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (vid_t v = 0; v < n; ++v) {
+      const vid_t from = member[static_cast<std::size_t>(v)];
+      link.clear();
+      const auto nb = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (nb[i] == v) continue;
+        link[member[static_cast<std::size_t>(nb[i])]] += ws[i];
+      }
+      const double kv = k[static_cast<std::size_t>(v)];
+      const double w_from = link.count(from) ? link[from] : 0.0;
+      const double d_from_excl = comm_deg[static_cast<std::size_t>(from)] - kv;
+      vid_t best_to = from;
+      double best_delta = 0;
+      for (const auto& [to, w_to] : link) {
+        if (to == from) continue;
+        const double d_to = comm_deg[static_cast<std::size_t>(to)];
+        const double delta_q =
+            (w_to - w_from) * inv_m - kv * (d_to - d_from_excl) * inv_2m2;
+        if (delta_q > best_delta + 1e-15) {
+          best_delta = delta_q;
+          best_to = to;
+        }
+      }
+      if (best_to != from) {
+        member[static_cast<std::size_t>(v)] = best_to;
+        comm_deg[static_cast<std::size_t>(from)] -= kv;
+        comm_deg[static_cast<std::size_t>(best_to)] += kv;
+        improved = true;
+      }
+    }
+  }
+
+  CommunityResult r;
+  r.clustering = normalize_labels(member);
+  r.modularity = modularity(g, r.clustering.membership);
+  r.seconds = timer.elapsed_s();
+  return r;
+}
+
+}  // namespace
+
+CommunityResult anneal_modularity(const CSRGraph& g,
+                                  const AnnealParams& params) {
+  if (g.directed())
+    throw std::invalid_argument(
+        "anneal_modularity requires an undirected graph");
+  WallTimer timer;
+  CommunityResult best;
+  best.modularity = -2;
+  const int restarts = std::max(params.restarts, 1);
+  for (int r = 0; r < restarts; ++r) {
+    AnnealParams p = params;
+    p.seed = params.seed + static_cast<std::uint64_t>(r) * 0x9e3779b9ULL;
+    CommunityResult run = anneal_once(g, p);
+    if (run.modularity > best.modularity) best = std::move(run);
+  }
+  best.seconds = timer.elapsed_s();
+  return best;
+}
+
+}  // namespace snap

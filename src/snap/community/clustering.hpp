@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/ds/dendrogram.hpp"
+#include "snap/graph/types.hpp"
+
+namespace snap {
+
+/// A clustering C = (C1, ..., Ck) of the vertex set, as a dense membership
+/// vector (§2.3).
+struct Clustering {
+  std::vector<vid_t> membership;  ///< cluster id per vertex, 0..num_clusters-1
+  vid_t num_clusters = 0;
+};
+
+/// Renumber arbitrary labels to dense 0..k-1 ids (first-seen order).
+Clustering normalize_labels(const std::vector<vid_t>& labels);
+
+/// Common result type of all community-identification algorithms.
+struct CommunityResult {
+  Clustering clustering;
+  double modularity = 0;
+  double seconds = 0;           ///< wall time of the run
+  eid_t iterations = 0;         ///< edge removals (divisive) or merges (agglomerative)
+  DivisiveTrace divisive_trace; ///< populated by GN / pBD
+  MergeDendrogram dendrogram;   ///< populated by pMA
+};
+
+}  // namespace snap

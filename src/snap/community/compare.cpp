@@ -1,0 +1,91 @@
+#include "snap/community/compare.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace snap {
+
+namespace {
+
+/// Contingency statistics between two labelings.
+struct Contingency {
+  std::map<vid_t, std::int64_t> size_a, size_b;
+  std::map<std::pair<vid_t, vid_t>, std::int64_t> joint;
+  std::int64_t n = 0;
+
+  Contingency(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+    if (a.size() != b.size())
+      throw std::invalid_argument("clustering size mismatch");
+    n = static_cast<std::int64_t>(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ++size_a[a[i]];
+      ++size_b[b[i]];
+      ++joint[{a[i], b[i]}];
+    }
+  }
+};
+
+double choose2(std::int64_t x) {
+  return 0.5 * static_cast<double>(x) * static_cast<double>(x - 1);
+}
+
+}  // namespace
+
+double rand_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  const Contingency c(a, b);
+  if (c.n < 2) return 1.0;
+  // pairs together in both = Σ C(n_ij, 2); use inclusion–exclusion for the
+  // "apart in both" count.
+  double both = 0, in_a = 0, in_b = 0;
+  for (const auto& [key, cnt] : c.joint) both += choose2(cnt);
+  for (const auto& [l, cnt] : c.size_a) in_a += choose2(cnt);
+  for (const auto& [l, cnt] : c.size_b) in_b += choose2(cnt);
+  const double total = choose2(c.n);
+  const double agree = both + (total - in_a - in_b + both);
+  return agree / total;
+}
+
+double adjusted_rand_index(const std::vector<vid_t>& a,
+                           const std::vector<vid_t>& b) {
+  const Contingency c(a, b);
+  if (c.n < 2) return 1.0;
+  double sum_ij = 0, sum_a = 0, sum_b = 0;
+  for (const auto& [key, cnt] : c.joint) sum_ij += choose2(cnt);
+  for (const auto& [l, cnt] : c.size_a) sum_a += choose2(cnt);
+  for (const auto& [l, cnt] : c.size_b) sum_b += choose2(cnt);
+  const double total = choose2(c.n);
+  const double expected = sum_a * sum_b / total;
+  const double max_index = 0.5 * (sum_a + sum_b);
+  const double denom = max_index - expected;
+  if (std::abs(denom) < 1e-300) return 1.0;  // both trivial partitions
+  return (sum_ij - expected) / denom;
+}
+
+double normalized_mutual_information(const std::vector<vid_t>& a,
+                                     const std::vector<vid_t>& b) {
+  const Contingency c(a, b);
+  if (c.n == 0) return 1.0;
+  const double n = static_cast<double>(c.n);
+  double mi = 0, ha = 0, hb = 0;
+  for (const auto& [key, cnt] : c.joint) {
+    const double p = static_cast<double>(cnt) / n;
+    const double pa = static_cast<double>(c.size_a.at(key.first)) / n;
+    const double pb = static_cast<double>(c.size_b.at(key.second)) / n;
+    mi += p * std::log(p / (pa * pb));
+  }
+  for (const auto& [l, cnt] : c.size_a) {
+    const double p = static_cast<double>(cnt) / n;
+    ha -= p * std::log(p);
+  }
+  for (const auto& [l, cnt] : c.size_b) {
+    const double p = static_cast<double>(cnt) / n;
+    hb -= p * std::log(p);
+  }
+  const double denom = 0.5 * (ha + hb);
+  if (denom < 1e-300) return 1.0;  // both single-cluster partitions
+  return mi / denom;
+}
+
+}  // namespace snap

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/graph/types.hpp"
+
+namespace snap {
+
+/// Agreement measures between two clusterings of the same vertex set, used
+/// to validate detected communities against ground truth (or against
+/// another algorithm's output).  Labels need not be dense.
+
+/// Rand index: fraction of vertex pairs classified the same way (together /
+/// apart) by both clusterings.  1 = identical partitions.  O(n log n).
+double rand_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b);
+
+/// Adjusted Rand index: Rand index corrected for chance; 0 ≈ random
+/// agreement, 1 = identical.
+double adjusted_rand_index(const std::vector<vid_t>& a,
+                           const std::vector<vid_t>& b);
+
+/// Normalized mutual information in [0, 1] (arithmetic-mean normalization).
+double normalized_mutual_information(const std::vector<vid_t>& a,
+                                     const std::vector<vid_t>& b);
+
+}  // namespace snap

@@ -1,0 +1,34 @@
+#pragma once
+
+// Internal helpers shared by the divisive community algorithms (GN, pBD).
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/kernels/bfs.hpp"
+
+namespace snap::detail {
+
+/// After deleting edge (u, v), decide whether its component split, and if so
+/// relabel u's side with `new_label`.  Returns the vertices on u's side
+/// (empty if the component did not split).  O(|u-side|) via masked BFS —
+/// the "run connected components, update number of clusters" step of
+/// Algorithm 1, made incremental.
+inline std::vector<vid_t> split_after_deletion(
+    const CSRGraph& g, const std::vector<std::uint8_t>& edge_alive,
+    std::vector<vid_t>& membership, vid_t u, vid_t v, vid_t new_label) {
+  const BFSResult b = bfs_masked(g, u, edge_alive);
+  if (b.dist[static_cast<std::size_t>(v)] >= 0) return {};  // still connected
+  std::vector<vid_t> side;
+  side.reserve(static_cast<std::size_t>(b.num_visited));
+  for (vid_t w = 0; w < g.num_vertices(); ++w) {
+    if (b.dist[static_cast<std::size_t>(w)] >= 0) {
+      membership[static_cast<std::size_t>(w)] = new_label;
+      side.push_back(w);
+    }
+  }
+  return side;
+}
+
+}  // namespace snap::detail

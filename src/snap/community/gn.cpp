@@ -1,0 +1,73 @@
+#include "snap/community/gn.hpp"
+
+#include <algorithm>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/community/divisive_util.hpp"
+#include "snap/community/modularity.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/util/timer.hpp"
+
+namespace snap {
+
+CommunityResult girvan_newman(const CSRGraph& g, const DivisiveParams& params) {
+  WallTimer timer;
+  const eid_t m = g.num_edges();
+  const eid_t max_iter = params.max_iterations > 0 ? params.max_iterations : m;
+
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(m), 1);
+  Components comps = connected_components(g);
+  std::vector<vid_t> membership = comps.label;
+  vid_t num_clusters = comps.count;
+  vid_t next_label = num_clusters;
+
+  CommunityResult r;
+  r.divisive_trace.offer_best(modularity(g, membership), membership);
+
+  eid_t since_best = 0;
+  for (eid_t it = 0; it < max_iter; ++it) {
+    // Step 4 (exact flavor): recompute edge betweenness on the surviving
+    // graph and find the top edge.
+    const std::vector<double> scores = edge_betweenness_masked(g, alive);
+    eid_t best = kInvalidEid;
+    double best_score = -1;
+    for (eid_t e = 0; e < m; ++e) {
+      if (alive[static_cast<std::size_t>(e)] &&
+          scores[static_cast<std::size_t>(e)] > best_score) {
+        best_score = scores[static_cast<std::size_t>(e)];
+        best = e;
+      }
+    }
+    if (best == kInvalidEid) break;  // no edges left
+
+    // Step 5: mark deleted.
+    alive[static_cast<std::size_t>(best)] = 0;
+    const Edge ed = g.edge(best);
+    // Step 6: incremental connected components + dendrogram update.
+    const auto side = detail::split_after_deletion(g, alive, membership, ed.u,
+                                                   ed.v, next_label);
+    if (!side.empty()) {
+      ++next_label;
+      ++num_clusters;
+    }
+    // Step 7: modularity of the current partitioning (on the full graph).
+    const double q = modularity(g, membership);
+    const double prev_best = r.divisive_trace.best_modularity();
+    r.divisive_trace.record(ed.u, ed.v, num_clusters, q);
+    r.divisive_trace.offer_best(q, membership);
+    since_best = q > prev_best ? 0 : since_best + 1;
+    r.iterations = it + 1;
+
+    if (params.target_clusters > 0 && num_clusters >= params.target_clusters)
+      break;
+    if (params.stall_iterations > 0 && since_best >= params.stall_iterations)
+      break;
+  }
+
+  r.clustering = normalize_labels(r.divisive_trace.best_membership());
+  r.modularity = r.divisive_trace.best_modularity();
+  r.seconds = timer.elapsed_s();
+  return r;
+}
+
+}  // namespace snap

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "snap/community/clustering.hpp"
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Stopping rule shared by the divisive algorithms.
+struct DivisiveParams {
+  /// Maximum edge removals; 0 = up to m (the complete dendrogram of
+  /// Algorithm 1's `while numIter < m` loop).
+  eid_t max_iterations = 0;
+  /// Stop once the clustering reaches this many clusters (0 = no target).
+  vid_t target_clusters = 0;
+  /// Stop when the best modularity has not improved for this many edge
+  /// removals (0 = disabled).  Modularity along a divisive run rises to a
+  /// single peak and then decays, so a generous stall budget recovers the
+  /// same best clustering as a complete run at a fraction of the cost.
+  eid_t stall_iterations = 0;
+};
+
+/// Girvan–Newman divisive clustering — the competing baseline of §5.
+/// Each iteration recomputes *exact* edge betweenness over the surviving
+/// edges (all n sources), removes the top edge, and records modularity.
+/// O(m²n)-ish work: intentionally unengineered except for SNAP's coarse
+/// parallel Brandes, to match what pBD is compared against.
+CommunityResult girvan_newman(const CSRGraph& g,
+                              const DivisiveParams& params = {});
+
+}  // namespace snap

@@ -1,0 +1,113 @@
+#include "snap/community/modularity.hpp"
+
+#include <algorithm>
+
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+Clustering normalize_labels(const std::vector<vid_t>& labels) {
+  Clustering c;
+  c.membership.resize(labels.size());
+  std::vector<vid_t> dense;
+  const vid_t max_label =
+      labels.empty() ? -1 : *std::max_element(labels.begin(), labels.end());
+  dense.assign(static_cast<std::size_t>(max_label) + 1, kInvalidVid);
+  vid_t next = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    vid_t& d = dense[static_cast<std::size_t>(labels[v])];
+    if (d == kInvalidVid) d = next++;
+    c.membership[v] = d;
+  }
+  c.num_clusters = next;
+  return c;
+}
+
+namespace {
+
+template <typename Alive>
+double modularity_impl(const CSRGraph& g, const std::vector<vid_t>& membership,
+                       Alive&& alive) {
+  const eid_t m = g.num_edges();
+  const auto& edges = g.edges();
+
+  // Total weight and per-cluster accumulators.  Cluster ids may be sparse;
+  // size by max label + 1.
+  vid_t max_label = 0;
+  for (vid_t l : membership) max_label = std::max(max_label, l);
+  std::vector<double> intra(static_cast<std::size_t>(max_label) + 1, 0.0);
+  std::vector<double> deg(static_cast<std::size_t>(max_label) + 1, 0.0);
+
+  double total_w = 0;
+  const int nt = parallel::num_threads();
+  if (nt > 1 && m > 1 << 16) {
+    // Parallel accumulation (the O(m)-work modularity kernel of Algorithm 1
+    // step 7): per-thread cluster accumulators, reduced at the end.
+    std::vector<std::vector<double>> intra_loc(
+        static_cast<std::size_t>(nt)),
+        deg_loc(static_cast<std::size_t>(nt));
+#pragma omp parallel num_threads(nt) reduction(+ : total_w)
+    {
+      const auto t = static_cast<std::size_t>(omp_get_thread_num());
+      intra_loc[t].assign(intra.size(), 0.0);
+      deg_loc[t].assign(deg.size(), 0.0);
+#pragma omp for schedule(static)
+      for (eid_t e = 0; e < m; ++e) {
+        if (!alive(e)) continue;
+        const Edge& ed = edges[static_cast<std::size_t>(e)];
+        total_w += ed.w;
+        const auto cu =
+            static_cast<std::size_t>(membership[static_cast<std::size_t>(ed.u)]);
+        const auto cv =
+            static_cast<std::size_t>(membership[static_cast<std::size_t>(ed.v)]);
+        deg_loc[t][cu] += ed.w;
+        deg_loc[t][cv] += ed.w;
+        if (cu == cv) intra_loc[t][cu] += ed.w;
+      }
+    }
+    for (int t = 0; t < nt; ++t) {
+      for (std::size_t c = 0; c < intra.size(); ++c) {
+        intra[c] += intra_loc[static_cast<std::size_t>(t)][c];
+        deg[c] += deg_loc[static_cast<std::size_t>(t)][c];
+      }
+    }
+  } else {
+    for (eid_t e = 0; e < m; ++e) {
+      if (!alive(e)) continue;
+      const Edge& ed = edges[static_cast<std::size_t>(e)];
+      total_w += ed.w;
+      deg[static_cast<std::size_t>(
+          membership[static_cast<std::size_t>(ed.u)])] += ed.w;
+      deg[static_cast<std::size_t>(
+          membership[static_cast<std::size_t>(ed.v)])] += ed.w;
+      if (membership[static_cast<std::size_t>(ed.u)] ==
+          membership[static_cast<std::size_t>(ed.v)])
+        intra[static_cast<std::size_t>(
+            membership[static_cast<std::size_t>(ed.u)])] += ed.w;
+    }
+  }
+  if (total_w == 0) return 0;
+
+  double q = 0;
+  for (std::size_t c = 0; c < intra.size(); ++c) {
+    const double a = deg[c] / (2.0 * total_w);
+    q += intra[c] / total_w - a * a;
+  }
+  return q;
+}
+
+}  // namespace
+
+double modularity(const CSRGraph& g, const std::vector<vid_t>& membership) {
+  return modularity_impl(g, membership, [](eid_t) { return true; });
+}
+
+double modularity_masked(const CSRGraph& g,
+                         const std::vector<vid_t>& membership,
+                         const std::vector<std::uint8_t>& edge_alive) {
+  return modularity_impl(g, membership, [&](eid_t e) {
+    return edge_alive[static_cast<std::size_t>(e)] != 0;
+  });
+}
+
+}  // namespace snap

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/community/clustering.hpp"
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Modularity q(C) of a clustering (§2.3):
+///
+///   q(C) = Σ_i [ m(C_i)/m  −  (Σ_{v∈C_i} deg(v) / 2m)² ]
+///
+/// where m(C_i) counts intra-cluster edges.  Weighted graphs use edge
+/// weights for both terms.  Values > 0.3 "indicate significant community
+/// structure".  O(m) work, parallelized over the edge array.
+double modularity(const CSRGraph& g, const std::vector<vid_t>& membership);
+
+/// Modularity restricted to alive edges: the graph's edge set is taken to be
+/// {e : edge_alive[e] != 0} for *both* terms (the divisive algorithms score
+/// the clustering of the full graph, so they pass the full mask — this
+/// variant exists for analyses of partially-deleted graphs).
+double modularity_masked(const CSRGraph& g,
+                         const std::vector<vid_t>& membership,
+                         const std::vector<std::uint8_t>& edge_alive);
+
+/// ΔQ of merging communities with degree fractions a_i, a_j and e_ij
+/// inter-edge fraction (CNM update rule): ΔQ = 2 (e_ij − a_i a_j).
+inline double merge_delta_q(double e_ij, double a_i, double a_j) {
+  return 2.0 * (e_ij - a_i * a_j);
+}
+
+}  // namespace snap

@@ -1,0 +1,408 @@
+#include "snap/community/pbd.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "snap/community/divisive_util.hpp"
+#include "snap/community/modularity.hpp"
+#include "snap/kernels/biconnected.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+#include "snap/util/timer.hpp"
+
+namespace snap {
+
+namespace {
+
+/// Reusable scratch for one serial masked Brandes traversal.
+struct Scratch {
+  std::vector<std::int64_t> dist;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<vid_t> order;
+
+  explicit Scratch(vid_t n)
+      : dist(static_cast<std::size_t>(n), -1),
+        sigma(static_cast<std::size_t>(n), 0),
+        delta(static_cast<std::size_t>(n), 0) {}
+
+  void reset() {
+    for (vid_t v : order) {
+      dist[static_cast<std::size_t>(v)] = -1;
+      sigma[static_cast<std::size_t>(v)] = 0;
+      delta[static_cast<std::size_t>(v)] = 0;
+    }
+    order.clear();
+  }
+};
+
+/// Serial masked Brandes from `s`, accumulating per-edge dependencies into
+/// `edge_acc` (a full-size, caller-owned array).
+void brandes_masked(const CSRGraph& g, vid_t s,
+                    const std::vector<std::uint8_t>& alive, Scratch& sc,
+                    double* edge_acc) {
+  sc.reset();
+  sc.dist[static_cast<std::size_t>(s)] = 0;
+  sc.sigma[static_cast<std::size_t>(s)] = 1;
+  sc.order.push_back(s);
+  for (std::size_t head = 0; head < sc.order.size(); ++head) {
+    const vid_t u = sc.order[head];
+    const std::int64_t du = sc.dist[static_cast<std::size_t>(u)];
+    const auto nb = g.neighbors(u);
+    const auto ids = g.edge_ids(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (!alive[static_cast<std::size_t>(ids[i])]) continue;
+      const vid_t v = nb[i];
+      if (sc.dist[static_cast<std::size_t>(v)] < 0) {
+        sc.dist[static_cast<std::size_t>(v)] = du + 1;
+        sc.order.push_back(v);
+      }
+      if (sc.dist[static_cast<std::size_t>(v)] == du + 1)
+        sc.sigma[static_cast<std::size_t>(v)] +=
+            sc.sigma[static_cast<std::size_t>(u)];
+    }
+  }
+  for (std::size_t i = sc.order.size(); i-- > 0;) {
+    const vid_t w = sc.order[i];
+    const std::int64_t dw = sc.dist[static_cast<std::size_t>(w)];
+    const double sw = sc.sigma[static_cast<std::size_t>(w)];
+    const auto nb = g.neighbors(w);
+    const auto ids = g.edge_ids(w);
+    for (std::size_t j = 0; j < nb.size(); ++j) {
+      if (!alive[static_cast<std::size_t>(ids[j])]) continue;
+      const vid_t v = nb[j];
+      if (sc.dist[static_cast<std::size_t>(v)] != dw + 1) continue;
+      const double c = sw / sc.sigma[static_cast<std::size_t>(v)] *
+                       (1.0 + sc.delta[static_cast<std::size_t>(v)]);
+      sc.delta[static_cast<std::size_t>(w)] += c;
+      edge_acc[static_cast<std::size_t>(ids[j])] += c;
+    }
+  }
+}
+
+/// Working state of one pBD run.
+struct PBDState {
+  const CSRGraph& g;
+  const PBDParams& p;
+  std::vector<std::uint8_t> alive;
+  std::vector<vid_t> membership;       // current cluster label per vertex
+  std::vector<std::vector<vid_t>> comp_vertices;  // per label
+  std::vector<double> scores;          // per logical edge
+  SplitMix64 rng;
+
+  PBDState(const CSRGraph& graph, const PBDParams& params)
+      : g(graph),
+        p(params),
+        alive(static_cast<std::size_t>(graph.num_edges()), 1),
+        scores(static_cast<std::size_t>(graph.num_edges()), 0.0),
+        rng(params.seed) {}
+
+  /// Pick traversal sources for a component: all vertices when small enough
+  /// for exact scoring, otherwise a uniform sample.
+  std::vector<vid_t> pick_sources(const std::vector<vid_t>& verts) {
+    const auto csize = static_cast<vid_t>(verts.size());
+    if (csize <= p.exact_threshold) return verts;
+    const vid_t want = std::min<vid_t>(
+        csize, std::max<vid_t>(p.min_samples,
+                               static_cast<vid_t>(p.sample_fraction *
+                                                  static_cast<double>(csize))));
+    std::vector<vid_t> pool = verts;
+    for (vid_t k = 0; k < want; ++k) {
+      const auto pick =
+          k + static_cast<vid_t>(
+                  rng.next_bounded(static_cast<std::uint64_t>(csize - k)));
+      std::swap(pool[static_cast<std::size_t>(k)],
+                pool[static_cast<std::size_t>(pick)]);
+    }
+    pool.resize(static_cast<std::size_t>(want));
+    return pool;
+  }
+
+  /// Zero the stored scores of the component's alive edges.
+  void zero_component_scores(const std::vector<vid_t>& verts) {
+    for (vid_t u : verts) {
+      const auto ids = g.edge_ids(u);
+      for (eid_t id : ids)
+        if (alive[static_cast<std::size_t>(id)])
+          scores[static_cast<std::size_t>(id)] = 0;
+    }
+  }
+
+  /// Scale accumulated scores of the component's alive edges by `f`
+  /// (visits each undirected edge once via its lower-endpoint arc).
+  void scale_component_scores(const std::vector<vid_t>& verts, double f) {
+    for (vid_t u : verts) {
+      const auto nb = g.neighbors(u);
+      const auto ids = g.edge_ids(u);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (nb[i] < u) continue;
+        if (alive[static_cast<std::size_t>(ids[i])])
+          scores[static_cast<std::size_t>(ids[i])] *= f;
+      }
+    }
+  }
+
+  /// Re-estimate the edge betweenness scores of one component (step 4 of
+  /// Algorithm 1, restricted to the component the last deletion touched).
+  /// `serial_inner` forces serial traversals (used when components
+  /// themselves are processed in parallel — the coarse-granularity mode).
+  void score_component(const std::vector<vid_t>& verts, bool serial_inner,
+                       Scratch* reuse = nullptr) {
+    if (verts.size() < 2) return;
+    const std::vector<vid_t> sources = pick_sources(verts);
+    const double scale = 0.5 * static_cast<double>(verts.size()) /
+                         static_cast<double>(sources.size());
+    zero_component_scores(verts);
+
+    if (serial_inner || parallel::num_threads() == 1) {
+      Scratch local_sc(reuse ? 0 : g.num_vertices());
+      Scratch& sc = reuse ? *reuse : local_sc;
+      for (vid_t s : sources) brandes_masked(g, s, alive, sc, scores.data());
+    } else {
+      // Fine granularity: sources distributed over threads, per-thread
+      // accumulators reduced into the shared score array.
+      const int nt = parallel::num_threads();
+      std::vector<std::vector<double>> acc(static_cast<std::size_t>(nt));
+#pragma omp parallel num_threads(nt)
+      {
+        const auto t = static_cast<std::size_t>(omp_get_thread_num());
+        acc[t].assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+        Scratch sc(g.num_vertices());
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(sources.size()); ++i) {
+          brandes_masked(g, sources[static_cast<std::size_t>(i)], alive, sc,
+                         acc[t].data());
+        }
+      }
+      for (vid_t u : verts) {
+        const auto nb = g.neighbors(u);
+        const auto ids = g.edge_ids(u);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          if (nb[i] < u) continue;
+          const auto id = static_cast<std::size_t>(ids[i]);
+          if (!alive[id]) continue;
+          for (int t = 0; t < nt; ++t)
+            scores[id] += acc[static_cast<std::size_t>(t)][id];
+        }
+      }
+    }
+    scale_component_scores(verts, scale);
+  }
+
+  /// Optional step 1: exact betweenness of every bridge via the bridge
+  /// forest — a bridge (u, v) separating s_u vertices from s_v has edge
+  /// betweenness exactly s_u * s_v.
+  void seed_bridge_scores() {
+    const BiconnectedResult bcc = biconnected_components(g);
+    const auto bridges = bcc.bridges();
+    if (bridges.empty()) return;
+    // 2-edge-connected components = components after bridge removal.
+    std::vector<std::uint8_t> no_bridges = alive;
+    for (eid_t b : bridges) no_bridges[static_cast<std::size_t>(b)] = 0;
+    const Components tecc = connected_components_masked(g, no_bridges);
+    std::vector<vid_t> node_size(static_cast<std::size_t>(tecc.count), 0);
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ++node_size[static_cast<std::size_t>(tecc.label[static_cast<std::size_t>(v)])];
+
+    // Bridge forest adjacency: node -> (bridge id, other node).
+    std::vector<std::vector<std::pair<eid_t, vid_t>>> fadj(
+        static_cast<std::size_t>(tecc.count));
+    for (eid_t b : bridges) {
+      const Edge e = g.edge(b);
+      const vid_t a = tecc.label[static_cast<std::size_t>(e.u)];
+      const vid_t c = tecc.label[static_cast<std::size_t>(e.v)];
+      fadj[static_cast<std::size_t>(a)].push_back({b, c});
+      fadj[static_cast<std::size_t>(c)].push_back({b, a});
+    }
+    // Iterative DFS per tree computing subtree vertex counts.
+    std::vector<std::int64_t> subtree(static_cast<std::size_t>(tecc.count), 0);
+    std::vector<vid_t> parent(static_cast<std::size_t>(tecc.count), kInvalidVid);
+    std::vector<eid_t> parent_bridge(static_cast<std::size_t>(tecc.count),
+                                     kInvalidEid);
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(tecc.count), 0);
+    for (vid_t root = 0; root < tecc.count; ++root) {
+      if (seen[static_cast<std::size_t>(root)]) continue;
+      // Collect the tree in DFS preorder.
+      std::vector<vid_t> pre;
+      std::vector<vid_t> stack{root};
+      seen[static_cast<std::size_t>(root)] = 1;
+      std::int64_t tree_total = 0;
+      while (!stack.empty()) {
+        const vid_t x = stack.back();
+        stack.pop_back();
+        pre.push_back(x);
+        tree_total += node_size[static_cast<std::size_t>(x)];
+        for (const auto& [b, y] : fadj[static_cast<std::size_t>(x)]) {
+          if (seen[static_cast<std::size_t>(y)]) continue;
+          seen[static_cast<std::size_t>(y)] = 1;
+          parent[static_cast<std::size_t>(y)] = x;
+          parent_bridge[static_cast<std::size_t>(y)] = b;
+          stack.push_back(y);
+        }
+      }
+      // Subtree sizes in reverse preorder; bridge score = inside * outside.
+      for (std::size_t i = pre.size(); i-- > 0;) {
+        const vid_t x = pre[i];
+        subtree[static_cast<std::size_t>(x)] +=
+            node_size[static_cast<std::size_t>(x)];
+        const vid_t px = parent[static_cast<std::size_t>(x)];
+        if (px != kInvalidVid)
+          subtree[static_cast<std::size_t>(px)] +=
+              subtree[static_cast<std::size_t>(x)];
+        const eid_t pb = parent_bridge[static_cast<std::size_t>(x)];
+        if (pb != kInvalidEid) {
+          const std::int64_t inside = subtree[static_cast<std::size_t>(x)];
+          scores[static_cast<std::size_t>(pb)] =
+              static_cast<double>(inside) *
+              static_cast<double>(tree_total - inside);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CommunityResult pbd(const CSRGraph& g, const PBDParams& params) {
+  if (g.directed())
+    throw std::invalid_argument("pbd requires an undirected graph");
+  WallTimer timer;
+  const eid_t m = g.num_edges();
+  const eid_t max_iter =
+      params.stop.max_iterations > 0 ? params.stop.max_iterations : m;
+
+  PBDState st(g, params);
+  const Components comps = connected_components(g);
+  st.membership = comps.label;
+  vid_t num_clusters = comps.count;
+  vid_t next_label = num_clusters;
+  st.comp_vertices.resize(static_cast<std::size_t>(num_clusters));
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    st.comp_vertices[static_cast<std::size_t>(
+        st.membership[static_cast<std::size_t>(v)])]
+        .push_back(v);
+
+  // Step 1 (optional): bridge prefilter.  Components containing bridges get
+  // their bridge edges scored exactly; components without bridges get an
+  // initial sampled estimate.
+  std::vector<std::uint8_t> comp_has_bridge(
+      static_cast<std::size_t>(num_clusters), 0);
+  if (params.bicc_prefilter) {
+    st.seed_bridge_scores();
+    for (eid_t e = 0; e < m; ++e) {
+      if (st.scores[static_cast<std::size_t>(e)] > 0) {
+        const Edge ed = g.edge(e);
+        comp_has_bridge[static_cast<std::size_t>(
+            st.membership[static_cast<std::size_t>(ed.u)])] = 1;
+      }
+    }
+  }
+  for (vid_t c = 0; c < num_clusters; ++c) {
+    if (!comp_has_bridge[static_cast<std::size_t>(c)])
+      st.score_component(st.comp_vertices[static_cast<std::size_t>(c)],
+                         /*serial_inner=*/false);
+  }
+
+  CommunityResult r;
+  r.divisive_trace.offer_best(modularity(g, st.membership), st.membership);
+
+  std::vector<vid_t> dirty;  // labels whose scores must be recomputed
+  eid_t since_best = 0;
+  vid_t max_comp_size = 0;
+  for (const auto& cv : st.comp_vertices)
+    max_comp_size = std::max(max_comp_size, static_cast<vid_t>(cv.size()));
+
+  for (eid_t it = 0; it < max_iter; ++it) {
+    // Rescore the components touched by the previous deletion.  Once every
+    // live component is small (the semi-automatic switch), dirty components
+    // are processed concurrently with serial traversals inside.
+    const bool coarse = max_comp_size <= params.exact_threshold;
+    if (coarse && dirty.size() > 1) {
+#pragma omp parallel
+      {
+        // Per-thread traversal scratch, reused across components.  Small
+        // components are scored exactly (all sources), so this path never
+        // touches the shared sampling RNG.
+        Scratch sc(g.num_vertices());
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(dirty.size());
+             ++i) {
+          st.score_component(
+              st.comp_vertices[static_cast<std::size_t>(
+                  dirty[static_cast<std::size_t>(i)])],
+              /*serial_inner=*/true, &sc);
+        }
+      }
+    } else {
+      for (vid_t label : dirty)
+        st.score_component(st.comp_vertices[static_cast<std::size_t>(label)],
+                           /*serial_inner=*/false);
+    }
+    dirty.clear();
+
+    // Step 4: highest-scoring alive edge.
+    eid_t best = kInvalidEid;
+    double best_score = -1;
+    for (eid_t e = 0; e < m; ++e) {
+      if (st.alive[static_cast<std::size_t>(e)] &&
+          st.scores[static_cast<std::size_t>(e)] > best_score) {
+        best_score = st.scores[static_cast<std::size_t>(e)];
+        best = e;
+      }
+    }
+    if (best == kInvalidEid) break;
+
+    // Step 5: delete; step 6: incremental components + membership update.
+    st.alive[static_cast<std::size_t>(best)] = 0;
+    const Edge ed = g.edge(best);
+    const vid_t old_label = st.membership[static_cast<std::size_t>(ed.u)];
+    const auto side = detail::split_after_deletion(g, st.alive, st.membership,
+                                                   ed.u, ed.v, next_label);
+    if (!side.empty()) {
+      // Partition the old component's vertex list.
+      auto& old_list =
+          st.comp_vertices[static_cast<std::size_t>(old_label)];
+      std::vector<vid_t> remain;
+      remain.reserve(old_list.size() - side.size());
+      for (vid_t v : old_list)
+        if (st.membership[static_cast<std::size_t>(v)] == old_label)
+          remain.push_back(v);
+      old_list.swap(remain);
+      st.comp_vertices.push_back(side);
+      dirty.push_back(old_label);
+      dirty.push_back(next_label);
+      ++next_label;
+      ++num_clusters;
+    } else {
+      dirty.push_back(old_label);
+    }
+    max_comp_size = 0;
+    for (const auto& cv : st.comp_vertices)
+      max_comp_size = std::max(max_comp_size, static_cast<vid_t>(cv.size()));
+
+    // Step 7: modularity of the current partitioning.
+    const double q = modularity(g, st.membership);
+    const double prev_best = r.divisive_trace.best_modularity();
+    r.divisive_trace.record(ed.u, ed.v, num_clusters, q);
+    r.divisive_trace.offer_best(q, st.membership);
+    since_best = q > prev_best ? 0 : since_best + 1;
+    r.iterations = it + 1;
+
+    if (params.stop.target_clusters > 0 &&
+        num_clusters >= params.stop.target_clusters)
+      break;
+    if (params.stop.stall_iterations > 0 &&
+        since_best >= params.stop.stall_iterations)
+      break;
+  }
+
+  r.clustering = normalize_labels(r.divisive_trace.best_membership());
+  r.modularity = r.divisive_trace.best_modularity();
+  r.seconds = timer.elapsed_s();
+  return r;
+}
+
+}  // namespace snap

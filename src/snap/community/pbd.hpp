@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "snap/community/clustering.hpp"
+#include "snap/community/gn.hpp"
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Parameters of pBD (Algorithm 1), the approximate-betweenness divisive
+/// clustering algorithm.
+struct PBDParams {
+  DivisiveParams stop;
+
+  /// Fraction of a component's vertices sampled as traversal sources when
+  /// estimating edge betweenness (the paper samples "just 5% of the
+  /// vertices").
+  double sample_fraction = 0.05;
+  /// Lower bound on sampled sources per component.
+  vid_t min_samples = 8;
+
+  /// Semi-automatic parallelism-granularity switch (§4): components of at
+  /// most this many vertices are scored with *exact* per-component edge
+  /// betweenness, and once every live component is this small the dirty
+  /// components themselves are processed in parallel (coarse granularity)
+  /// with serial traversals inside.  Larger components are scored by
+  /// sampling, parallelized across sources (fine granularity).
+  vid_t exact_threshold = 256;
+
+  /// Optional step 1: run biconnected components, seed bridges with their
+  /// exact betweenness (computable in linear time from the bridge forest) —
+  /// "bridges in the network are likely to have high edge centrality".
+  bool bicc_prefilter = true;
+
+  std::uint64_t seed = 1;
+};
+
+/// pBD: approximate betweenness-based divisive clustering (Algorithm 1).
+/// Requires an undirected graph (§5 ignores edge directivity; call
+/// `as_undirected()` first for directed data).
+CommunityResult pbd(const CSRGraph& g, const PBDParams& params = {});
+
+}  // namespace snap

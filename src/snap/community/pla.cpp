@@ -1,0 +1,196 @@
+#include "snap/community/pla.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "snap/community/modularity.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/biconnected.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/metrics/metrics.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+#include "snap/util/timer.hpp"
+
+namespace snap {
+
+namespace {
+
+/// Grow clusters greedily inside one component (lines 5–9 of Algorithm 3).
+/// Writes cluster labels (globally unique: the seed vertex id) into
+/// `membership`.  Only `alive` edges are considered, so clusters never span
+/// a removed bridge.
+void aggregate_component(const CSRGraph& g, const PLAParams& p,
+                         const std::vector<std::uint8_t>& alive,
+                         const std::vector<vid_t>& verts,
+                         const std::vector<double>& local_cc, double inv_2w,
+                         SplitMix64 rng, std::vector<vid_t>& membership) {
+  // Seed order: random shuffle or BFS ordering from the component's first
+  // vertex (§4: "this can be done randomly, or obtained from a breadth-first
+  // ordering of the vertices").
+  std::vector<vid_t> order = verts;
+  if (p.bfs_seed_order) {
+    const BFSResult b = bfs_masked(g, verts.front(), alive);
+    std::stable_sort(order.begin(), order.end(), [&](vid_t x, vid_t y) {
+      return b.dist[static_cast<std::size_t>(x)] <
+             b.dist[static_cast<std::size_t>(y)];
+    });
+  } else {
+    for (std::size_t k = order.size(); k > 1; --k) {
+      std::swap(order[k - 1], order[rng.next_bounded(k)]);
+    }
+  }
+
+  auto weighted_degree = [&](vid_t v) {
+    double d = 0;
+    for (weight_t w : g.weights(v)) d += w;
+    return d;
+  };
+
+  for (vid_t seed : order) {
+    if (membership[static_cast<std::size_t>(seed)] != kInvalidVid) continue;
+    // Grow a new cluster from `seed`.
+    membership[static_cast<std::size_t>(seed)] = seed;
+    double a_c = weighted_degree(seed) * inv_2w;  // cluster degree fraction
+    vid_t csize = 1;
+
+    // Candidate frontier: unassigned neighbors with their link weight into
+    // the cluster.
+    std::unordered_map<vid_t, double> links;
+    auto add_neighbors_of = [&](vid_t u) {
+      const auto nb = g.neighbors(u);
+      const auto ws = g.weights(u);
+      const auto ids = g.edge_ids(u);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (!alive[static_cast<std::size_t>(ids[i])]) continue;
+        if (membership[static_cast<std::size_t>(nb[i])] != kInvalidVid)
+          continue;
+        links[nb[i]] += ws[i];
+      }
+    };
+    add_neighbors_of(seed);
+
+    while (!links.empty() &&
+           (p.max_cluster_size == 0 || csize < p.max_cluster_size)) {
+      // Local metric (line 7): fraction of the candidate's edges already in
+      // the cluster, optionally weighted by its clustering coefficient.
+      vid_t best = kInvalidVid;
+      double best_score = -1;
+      for (const auto& [u, w] : links) {
+        double score = w / std::max(weighted_degree(u), 1e-300);
+        if (p.metric == PLAMetric::kClusteringCoeff)
+          score *= 1.0 + local_cc[static_cast<std::size_t>(u)];
+        if (score > best_score) {
+          best_score = score;
+          best = u;
+        }
+      }
+      // Line 8: accept only if overall modularity increases.  Moving the
+      // singleton {u} into cluster C changes q by 2 (e_uC − a_u a_C).
+      const double a_u = weighted_degree(best) * inv_2w;
+      const double e_uc = links[best] * inv_2w;
+      if (merge_delta_q(e_uc, a_u, a_c) <= 0) break;  // greedy stop
+
+      membership[static_cast<std::size_t>(best)] = seed;
+      a_c += a_u;
+      ++csize;
+      links.erase(best);
+      add_neighbors_of(best);
+    }
+  }
+}
+
+}  // namespace
+
+CommunityResult pla(const CSRGraph& g, const PLAParams& params) {
+  if (g.directed())
+    throw std::invalid_argument("pla requires an undirected graph");
+  WallTimer timer;
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+  const double total_w = std::max(g.total_edge_weight(), 1e-300);
+  const double inv_2w = 1.0 / (2.0 * total_w);
+
+  // Lines 1–2: remove bridges, split into components.
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(m), 1);
+  if (m > 0) {
+    const BiconnectedResult bcc = biconnected_components(g);
+    for (eid_t e = 0; e < m; ++e)
+      if (bcc.is_bridge[static_cast<std::size_t>(e)])
+        alive[static_cast<std::size_t>(e)] = 0;
+  }
+  const Components comps = connected_components_masked(g, alive);
+  std::vector<std::vector<vid_t>> comp_vertices(
+      static_cast<std::size_t>(comps.count));
+  for (vid_t v = 0; v < n; ++v)
+    comp_vertices[static_cast<std::size_t>(
+        comps.label[static_cast<std::size_t>(v)])]
+        .push_back(v);
+
+  std::vector<double> local_cc;
+  if (params.metric == PLAMetric::kClusteringCoeff)
+    local_cc = local_clustering_coefficients(g);
+
+  // Lines 3–9: concurrent greedy aggregation, one component per thread —
+  // the path-limited-search style coarse parallelism of §4.
+  std::vector<vid_t> membership(static_cast<std::size_t>(n), kInvalidVid);
+  const SplitMix64 base(params.seed);
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(comps.count); ++c) {
+    aggregate_component(g, params, alive,
+                        comp_vertices[static_cast<std::size_t>(c)], local_cc,
+                        inv_2w, base.fork(static_cast<std::uint64_t>(c)),
+                        membership);
+  }
+
+  CommunityResult r;
+  Clustering fine = normalize_labels(membership);
+  r.iterations = fine.num_clusters;
+
+  if (params.amalgamate && fine.num_clusters > 1) {
+    // Top-level amalgamation ("finally amalgamate the clusters at the top
+    // level"): build the weighted cluster graph — self-loops carry the
+    // intra-cluster weight — and run the pMA greedy agglomeration on it.
+    // Coarse-graph modularity equals fine-graph modularity, so the pMA cut
+    // maximizes the real objective.
+    EdgeList coarse_edges;
+    {
+      std::unordered_map<std::uint64_t, double> acc;
+      const auto k = static_cast<std::uint64_t>(fine.num_clusters);
+      for (const Edge& e : g.edges()) {
+        auto cu = static_cast<std::uint64_t>(
+            fine.membership[static_cast<std::size_t>(e.u)]);
+        auto cv = static_cast<std::uint64_t>(
+            fine.membership[static_cast<std::size_t>(e.v)]);
+        if (cu > cv) std::swap(cu, cv);
+        acc[cu * k + cv] += e.w;
+      }
+      coarse_edges.reserve(acc.size());
+      for (const auto& [key, w] : acc) {
+        coarse_edges.push_back({static_cast<vid_t>(key / k),
+                                static_cast<vid_t>(key % k), w});
+      }
+    }
+    BuildOptions opts;
+    opts.remove_self_loops = false;
+    const CSRGraph coarse = CSRGraph::from_edges(
+        fine.num_clusters, coarse_edges, /*directed=*/false, opts);
+    const CommunityResult top = pma(coarse);
+    std::vector<vid_t> final_membership(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v)
+      final_membership[static_cast<std::size_t>(v)] =
+          top.clustering.membership[static_cast<std::size_t>(
+              fine.membership[static_cast<std::size_t>(v)])];
+    r.clustering = normalize_labels(final_membership);
+  } else {
+    r.clustering = std::move(fine);
+  }
+
+  r.modularity = modularity(g, r.clustering.membership);
+  r.seconds = timer.elapsed_s();
+  return r;
+}
+
+}  // namespace snap

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "snap/community/clustering.hpp"
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// The local measure pLA uses when growing a cluster (§4: "a local measure
+/// such as degree or clustering coefficient").
+enum class PLAMetric {
+  kDegree,             ///< prefer candidates with the largest fraction of
+                       ///< their edges already inside the cluster
+  kClusteringCoeff,    ///< additionally weight candidates by their local
+                       ///< clustering coefficient
+};
+
+/// Parameters of pLA (Algorithm 3).
+struct PLAParams {
+  PLAMetric metric = PLAMetric::kDegree;
+  /// Seed vertices in BFS order instead of random order.
+  bool bfs_seed_order = false;
+  /// Cap on grown cluster size (0 = unlimited).
+  vid_t max_cluster_size = 0;
+  /// Run the final top-level amalgamation of clusters (greedy agglomeration
+  /// on the cluster graph, which also re-joins the removed bridges).
+  bool amalgamate = true;
+  std::uint64_t seed = 1;
+};
+
+/// pLA: greedy local aggregation (Algorithm 3).  Removes bridges, splits
+/// into components, grows clusters concurrently inside each component using
+/// a *local* metric (no global centrality), accepting a vertex only when the
+/// global modularity score increases, then amalgamates clusters at the top
+/// level.  Requires an undirected graph.
+CommunityResult pla(const CSRGraph& g, const PLAParams& params = {});
+
+}  // namespace snap

@@ -1,0 +1,223 @@
+#include "snap/community/pma.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "snap/community/modularity.hpp"
+#include "snap/ds/lazy_max_heap.hpp"
+#include "snap/ds/multilevel_bucket.hpp"
+#include "snap/ds/sorted_dyn_array.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/timer.hpp"
+
+namespace snap {
+
+namespace {
+
+using Row = SortedDynArray<vid_t, double>;
+
+struct RowUpdate {
+  vid_t k;
+  double max_value;
+  std::uint64_t stamp;
+  bool has_max;
+};
+
+}  // namespace
+
+CommunityResult pma(const CSRGraph& g, const PMAParams& params) {
+  if (g.directed())
+    throw std::invalid_argument("pma requires an undirected graph");
+  WallTimer timer;
+  const vid_t n = g.num_vertices();
+
+  const double total_w = std::max(g.total_edge_weight(), 1e-300);
+  const double inv_2w = 1.0 / (2.0 * total_w);
+
+  // Community state; community ids are representative vertex ids.
+  std::vector<double> a(static_cast<std::size_t>(n), 0.0);
+  for (vid_t v = 0; v < n; ++v) {
+    double dw = 0;
+    for (weight_t w : g.weights(v)) dw += w;
+    a[static_cast<std::size_t>(v)] = dw * inv_2w;
+  }
+
+  std::vector<Row> dq(static_cast<std::size_t>(n));
+  // ΔQ = 2(e_ij − a_i a_j) lies in [−2, 1]; size the buckets accordingly.
+  std::vector<MultiLevelBucket<vid_t>> rowmax(
+      static_cast<std::size_t>(n), MultiLevelBucket<vid_t>(-2.0, 2.0));
+  std::vector<std::uint64_t> stamp(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(n), 1);
+  LazyMaxHeap<vid_t> heap;
+
+  // Init: ΔQ_uv = 2 (e_uv − a_u a_v) for every edge (lines 3–7 of Alg. 2).
+  parallel::parallel_for_dynamic(n, [&](vid_t u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const vid_t v = nb[i];
+      if (v == u) continue;
+      const double delta = merge_delta_q(ws[i] * inv_2w,
+                                         a[static_cast<std::size_t>(u)],
+                                         a[static_cast<std::size_t>(v)]);
+      dq[static_cast<std::size_t>(u)].insert_or_assign(v, delta);
+      rowmax[static_cast<std::size_t>(u)].insert(v, delta);
+    }
+  });
+  for (vid_t u = 0; u < n; ++u) {
+    if (!rowmax[static_cast<std::size_t>(u)].empty()) {
+      const auto mx = rowmax[static_cast<std::size_t>(u)].max();
+      heap.push(u, mx.value, stamp[static_cast<std::size_t>(u)]);
+    }
+  }
+
+  double q = 0;
+  for (vid_t v = 0; v < n; ++v)
+    q -= a[static_cast<std::size_t>(v)] * a[static_cast<std::size_t>(v)];
+
+  CommunityResult r;
+  r.dendrogram = MergeDendrogram(n);
+  r.dendrogram.set_baseline(q);
+  vid_t num_communities = n;
+
+  const auto current_stamp = [&](vid_t i) {
+    return alive[static_cast<std::size_t>(i)] ? stamp[static_cast<std::size_t>(i)]
+                                              : ~std::uint64_t{0};
+  };
+
+  while (num_communities > 1) {
+    if (params.target_clusters > 0 &&
+        num_communities <= params.target_clusters)
+      break;
+    // Line 9: community pair with the largest ΔQ anywhere.
+    LazyMaxHeap<vid_t>::Entry top{};
+    if (!heap.pop_valid(current_stamp, top)) break;  // disconnected remainder
+    const vid_t i = top.id;
+    if (dq[static_cast<std::size_t>(i)].empty()) continue;
+    const auto mx = rowmax[static_cast<std::size_t>(i)].max();
+    const vid_t j = mx.key;
+    const double delta_q = mx.value;
+
+    // Merge the smaller row into the larger one; the surviving community
+    // keeps the bigger adjacency (classic CNM balance trick).
+    const vid_t survivor =
+        dq[static_cast<std::size_t>(i)].size() >=
+                dq[static_cast<std::size_t>(j)].size()
+            ? i
+            : j;
+    const vid_t absorbed = survivor == i ? j : i;
+    const double a_i = a[static_cast<std::size_t>(survivor)];
+    const double a_j = a[static_cast<std::size_t>(absorbed)];
+
+    // Line 10a: merge the two matrix rows.  The union walk is a linear
+    // two-pointer merge over the sorted dynamic arrays.
+    Row merged;
+    merged.reserve(dq[static_cast<std::size_t>(survivor)].size() +
+                   dq[static_cast<std::size_t>(absorbed)].size());
+    {
+      const Row& ri = dq[static_cast<std::size_t>(survivor)];
+      const Row& rj = dq[static_cast<std::size_t>(absorbed)];
+      auto it_i = ri.begin();
+      auto it_j = rj.begin();
+      while (it_i != ri.end() || it_j != rj.end()) {
+        vid_t k;
+        double val;
+        if (it_j == rj.end() ||
+            (it_i != ri.end() && it_i->key < it_j->key)) {
+          k = it_i->key;
+          // Connected to the survivor only: ΔQ'_ik = ΔQ_ik − 2 a_j a_k.
+          val = it_i->value - 2.0 * a_j * a[static_cast<std::size_t>(k)];
+          ++it_i;
+        } else if (it_i == ri.end() || it_j->key < it_i->key) {
+          k = it_j->key;
+          // Connected to the absorbed community only:
+          // ΔQ'_ik = ΔQ_jk − 2 a_i a_k.
+          val = it_j->value - 2.0 * a_i * a[static_cast<std::size_t>(k)];
+          ++it_j;
+        } else {
+          k = it_i->key;
+          // Connected to both: ΔQ'_ik = ΔQ_ik + ΔQ_jk.
+          val = it_i->value + it_j->value;
+          ++it_i;
+          ++it_j;
+        }
+        if (k == survivor || k == absorbed) continue;
+        merged.push_back_sorted(k, val);  // keys arrive in ascending order
+      }
+    }
+
+    // Line 10b: update every neighbor row, in parallel — rows are distinct,
+    // so threads touch disjoint state; heap pushes are batched afterwards.
+    std::vector<RowUpdate> updates(merged.size());
+    {
+      const auto update_row = [&](std::size_t idx, const Row::Entry& item) {
+        const vid_t k = item.key;
+        const double val = item.value;
+        auto& row = dq[static_cast<std::size_t>(k)];
+        auto& rmax = rowmax[static_cast<std::size_t>(k)];
+        if (const auto* e = row.find(survivor)) {
+          rmax.erase(survivor, e->value);
+          row.erase(survivor);
+        }
+        if (const auto* e = row.find(absorbed)) {
+          rmax.erase(absorbed, e->value);
+          row.erase(absorbed);
+        }
+        row.insert_or_assign(survivor, val);
+        rmax.insert(survivor, val);
+        ++stamp[static_cast<std::size_t>(k)];
+        RowUpdate& u = updates[idx];
+        u.k = k;
+        u.stamp = stamp[static_cast<std::size_t>(k)];
+        u.has_max = !rmax.empty();
+        if (u.has_max) u.max_value = rmax.max().value;
+      };
+      // Spawning a parallel region every merge costs more than it saves on
+      // short update lists; go parallel only for wide supernode rows.
+      if (parallel::num_threads() > 1 && merged.size() >= 256) {
+        std::vector<Row::Entry> items(merged.begin(), merged.end());
+#pragma omp parallel for schedule(dynamic, 16)
+        for (std::int64_t idx = 0;
+             idx < static_cast<std::int64_t>(items.size()); ++idx) {
+          update_row(static_cast<std::size_t>(idx),
+                     items[static_cast<std::size_t>(idx)]);
+        }
+      } else {
+        std::size_t idx = 0;
+        for (const auto& item : merged) update_row(idx++, item);
+      }
+    }
+    for (const RowUpdate& u : updates)
+      if (u.has_max) heap.push(u.k, u.max_value, u.stamp);
+
+    // Install the merged row for the survivor; retire the absorbed row.
+    dq[static_cast<std::size_t>(survivor)] = std::move(merged);
+    auto& smax = rowmax[static_cast<std::size_t>(survivor)];
+    smax.clear();
+    for (const auto& e : dq[static_cast<std::size_t>(survivor)])
+      smax.insert(e.key, e.value);
+    ++stamp[static_cast<std::size_t>(survivor)];
+    if (!smax.empty())
+      heap.push(survivor, smax.max().value,
+                stamp[static_cast<std::size_t>(survivor)]);
+    dq[static_cast<std::size_t>(absorbed)].clear();
+    rowmax[static_cast<std::size_t>(absorbed)].clear();
+    alive[static_cast<std::size_t>(absorbed)] = 0;
+    a[static_cast<std::size_t>(survivor)] = a_i + a_j;
+    a[static_cast<std::size_t>(absorbed)] = 0;
+
+    q += delta_q;
+    r.dendrogram.record_merge(i, j, q);
+    ++r.iterations;
+    --num_communities;
+  }
+
+  // Line 12: cut the dendrogram at the modularity peak.
+  const auto membership = r.dendrogram.cut_at_best();
+  r.clustering = normalize_labels(membership);
+  r.modularity = modularity(g, r.clustering.membership);
+  r.seconds = timer.elapsed_s();
+  return r;
+}
+
+}  // namespace snap

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "snap/community/clustering.hpp"
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Parameters of pMA (Algorithm 2).
+struct PMAParams {
+  /// Stop early once this many communities remain (0 = merge to one
+  /// community per component, the full `while nC > 1` loop).
+  vid_t target_clusters = 0;
+};
+
+/// pMA: modularity-maximizing greedy agglomeration (Algorithm 2) — the CNM
+/// optimization re-engineered on SNAP data structures.  Each community row of
+/// the ΔQ update matrix is held twice: in a sorted dynamic array (O(log n)
+/// point lookup / insert) and in a multilevel bucket (O(1) row maximum); a
+/// global lazy max-heap tracks the best pair overall.  The row merge and the
+/// neighbor-row updates of every iteration are parallelized.
+/// Requires an undirected graph.
+CommunityResult pma(const CSRGraph& g, const PMAParams& params = {});
+
+}  // namespace snap

@@ -1,0 +1,46 @@
+#include "snap/ds/dendrogram.hpp"
+
+#include "snap/ds/union_find.hpp"
+
+namespace snap {
+
+std::vector<double> MergeDendrogram::modularity_trace() const {
+  std::vector<double> q;
+  q.reserve(merges_.size());
+  for (const auto& m : merges_) q.push_back(m.modularity);
+  return q;
+}
+
+std::int64_t MergeDendrogram::best_step() const {
+  std::int64_t best = -1;
+  double best_q = baseline_;  // the initial clustering competes too
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    if (merges_[i].modularity > best_q) {
+      best = static_cast<std::int64_t>(i);
+      best_q = merges_[i].modularity;
+    }
+  }
+  return best;
+}
+
+std::vector<std::int64_t> MergeDendrogram::cut_at(std::int64_t steps) const {
+  UnionFind uf(static_cast<std::size_t>(n_));
+  for (std::int64_t i = 0; i < steps && i < std::ssize(merges_); ++i)
+    uf.unite(merges_[i].a, merges_[i].b);
+  // Renumber roots to dense 0..k-1 ids.
+  std::vector<std::int64_t> membership(n_, -1);
+  std::vector<std::int64_t> root_id(n_, -1);
+  std::int64_t next = 0;
+  for (std::int64_t v = 0; v < n_; ++v) {
+    const std::int64_t r = uf.find(v);
+    if (root_id[r] < 0) root_id[r] = next++;
+    membership[v] = root_id[r];
+  }
+  return membership;
+}
+
+std::vector<std::int64_t> MergeDendrogram::cut_at_best() const {
+  return cut_at(best_step() + 1);
+}
+
+}  // namespace snap

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace snap {
+
+/// Dendrogram for *agglomerative* clustering (pMA, pLA top-level pass).
+///
+/// Leaves are the n input vertices; each merge step joins two current
+/// clusters and records the modularity after the merge.  `cut_at_best()`
+/// replays the merge sequence up to the step with the highest recorded
+/// modularity and returns the induced membership vector — exactly the
+/// "inspect the dendrogram, set C to the clustering with the highest
+/// modularity score" step of Algorithms 1–2.
+class MergeDendrogram {
+ public:
+  MergeDendrogram() = default;
+  explicit MergeDendrogram(std::int64_t n_leaves) : n_(n_leaves) {}
+
+  struct Merge {
+    std::int64_t a;       ///< representative vertex of the first cluster
+    std::int64_t b;       ///< representative vertex of the second cluster
+    double modularity;    ///< modularity of the clustering after this merge
+  };
+
+  void record_merge(std::int64_t a, std::int64_t b, double modularity) {
+    merges_.push_back(Merge{a, b, modularity});
+  }
+
+  /// Modularity of the initial (pre-merge) clustering, so `best_step()` can
+  /// return -1 when no merge improves on it.  Must be on the same scale as
+  /// the values passed to record_merge.
+  void set_baseline(double q0) { baseline_ = q0; }
+  [[nodiscard]] double baseline() const { return baseline_; }
+
+  [[nodiscard]] std::int64_t n_leaves() const { return n_; }
+  [[nodiscard]] const std::vector<Merge>& merges() const { return merges_; }
+
+  /// Modularity trace (one value per merge step).
+  [[nodiscard]] std::vector<double> modularity_trace() const;
+
+  /// Index (into merges()) of the step with maximal modularity; -1 if the
+  /// best clustering is the initial all-singletons state.
+  [[nodiscard]] std::int64_t best_step() const;
+
+  /// Membership vector of the best-modularity clustering, with community ids
+  /// renumbered to 0..k-1.
+  [[nodiscard]] std::vector<std::int64_t> cut_at_best() const;
+
+  /// Membership after replaying merges [0, steps).
+  [[nodiscard]] std::vector<std::int64_t> cut_at(std::int64_t steps) const;
+
+ private:
+  std::int64_t n_ = 0;
+  double baseline_ = 0.0;
+  std::vector<Merge> merges_;
+};
+
+/// Trace for *divisive* clustering (GN, pBD): one entry per edge removal,
+/// recording the resulting cluster count and modularity, plus a snapshot of
+/// the best clustering seen (divisive state is cheap to snapshot since the
+/// driver already maintains a membership array).
+class DivisiveTrace {
+ public:
+  struct Step {
+    std::int64_t removed_u, removed_v;  ///< endpoints of the deleted edge
+    std::int64_t num_clusters;
+    double modularity;
+  };
+
+  void record(std::int64_t u, std::int64_t v, std::int64_t k, double q) {
+    steps_.push_back(Step{u, v, k, q});
+  }
+
+  /// Offer a candidate best clustering; keeps it if q improves on the best.
+  void offer_best(double q, const std::vector<std::int64_t>& membership) {
+    if (best_membership_.empty() || q > best_q_) {
+      best_q_ = q;
+      best_membership_ = membership;
+    }
+  }
+
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+  [[nodiscard]] double best_modularity() const { return best_q_; }
+  [[nodiscard]] const std::vector<std::int64_t>& best_membership() const {
+    return best_membership_;
+  }
+
+ private:
+  std::vector<Step> steps_;
+  double best_q_ = -1.0;
+  std::vector<std::int64_t> best_membership_;
+};
+
+}  // namespace snap

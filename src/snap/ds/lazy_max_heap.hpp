@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace snap {
+
+/// Max-heap with lazy invalidation, used as the global heap `H` of the pMA
+/// algorithm (Algorithm 2): it holds one candidate (value, id) per community
+/// row; rows re-push when their maximum changes, and stale entries are
+/// skipped at pop time by comparing against a caller-maintained stamp.
+template <typename Id>
+class LazyMaxHeap {
+ public:
+  struct Entry {
+    double value;
+    Id id;
+    std::uint64_t stamp;
+    bool operator<(const Entry& o) const { return value < o.value; }
+  };
+
+  void push(Id id, double value, std::uint64_t stamp) {
+    heap_.push(Entry{value, id, stamp});
+  }
+
+  /// Pop the max entry whose stamp matches `current_stamp(id)`.
+  /// Returns false if the heap ran out of valid entries.
+  template <typename StampFn>
+  bool pop_valid(StampFn&& current_stamp, Entry& out) {
+    while (!heap_.empty()) {
+      Entry top = heap_.top();
+      heap_.pop();
+      if (current_stamp(top.id) == top.stamp) {
+        out = top;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  void clear() { heap_ = {}; }
+
+ private:
+  std::priority_queue<Entry> heap_;
+};
+
+}  // namespace snap

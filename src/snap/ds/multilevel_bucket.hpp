@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace snap {
+
+/// Two-level bucket structure over a bounded real value range, supporting
+/// insert, erase, and fast max extraction.
+///
+/// The paper's pMA algorithm keeps each row of the ΔQ matrix in *two*
+/// structures: a sorted dynamic array (point lookup) and a "multi-level
+/// bucket (to identify the largest element quickly)".  This is that bucket
+/// structure: the value range is discretized into 64×64 buckets; a two-level
+/// occupancy bitmask locates the highest non-empty bucket in O(1), and the
+/// exact maximum is found by scanning only that bucket's (short) entry list.
+///
+/// Erase takes the value the key was inserted with, so no key→bucket map is
+/// needed (the companion sorted array supplies the exact value).
+template <typename Key>
+class MultiLevelBucket {
+ public:
+  /// `lo`/`hi` bound the insertable values (ΔQ values lie in [-1, 1]).
+  explicit MultiLevelBucket(double lo = -1.0, double hi = 1.0)
+      : lo_(lo), scale_(kBuckets / (hi - lo)) {}
+
+  struct Entry {
+    Key key;
+    double value;
+  };
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void insert(Key key, double value) {
+    const int b = bucket_of(value);
+    if (buckets_.empty()) buckets_.resize(kBuckets);
+    buckets_[b].push_back(Entry{key, value});
+    top_mask_ |= 1ULL << (b >> 6);
+    low_mask_[b >> 6] |= 1ULL << (b & 63);
+    ++size_;
+  }
+
+  /// Erase the entry (key, value); `value` must equal the inserted value.
+  /// Returns true if found.
+  bool erase(Key key, double value) {
+    if (buckets_.empty()) return false;
+    const int b = bucket_of(value);
+    auto& vec = buckets_[b];
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i].key == key) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        --size_;
+        if (vec.empty()) {
+          low_mask_[b >> 6] &= ~(1ULL << (b & 63));
+          if (low_mask_[b >> 6] == 0) top_mask_ &= ~(1ULL << (b >> 6));
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Entry with the maximum value; valid only if !empty().
+  [[nodiscard]] Entry max() const {
+    const int t = 63 - __builtin_clzll(top_mask_);
+    const int l = 63 - __builtin_clzll(low_mask_[t]);
+    const auto& vec = buckets_[(t << 6) | l];
+    const Entry* best = &vec[0];
+    for (const auto& e : vec)
+      if (e.value > best->value) best = &e;
+    return *best;
+  }
+
+  void clear() {
+    buckets_.clear();
+    top_mask_ = 0;
+    low_mask_.fill(0);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr int kBuckets = 64 * 64;
+
+  [[nodiscard]] int bucket_of(double v) const {
+    int b = static_cast<int>((v - lo_) * scale_);
+    if (b < 0) b = 0;
+    if (b >= kBuckets) b = kBuckets - 1;
+    return b;
+  }
+
+  double lo_;
+  double scale_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::uint64_t top_mask_ = 0;
+  std::array<std::uint64_t, 64> low_mask_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace snap

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace snap {
+
+/// Sorted dynamic array: a key-sorted vector with binary-search lookup and
+/// shift-based insert/erase.
+///
+/// This is the representation the paper uses for the rows of the pMA
+/// modularity-update matrix ("each row of the matrix [is stored] as a sorted
+/// dynamic array so that elements can be identified or inserted in O(log n)
+/// time"), and for the sorted adjacency arrays of the dynamic graph.
+/// For the short, cache-resident rows typical of sparse small-world matrices
+/// the O(size) shift on insert is faster in practice than a pointer structure.
+template <typename Key, typename Value>
+class SortedDynArray {
+ public:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+  void clear() { data_.clear(); }
+
+  /// Pointer to the entry with `key`, or nullptr.
+  [[nodiscard]] const Entry* find(Key key) const {
+    auto it = lower(key);
+    return (it != data_.end() && it->key == key) ? &*it : nullptr;
+  }
+  [[nodiscard]] Entry* find(Key key) {
+    auto it = lower(key);
+    return (it != data_.end() && it->key == key) ? &*it : nullptr;
+  }
+
+  [[nodiscard]] bool contains(Key key) const { return find(key) != nullptr; }
+
+  /// Insert (key, value), or overwrite the value if key exists.
+  /// Returns true iff a new entry was created.
+  bool insert_or_assign(Key key, Value value) {
+    auto it = lower(key);
+    if (it != data_.end() && it->key == key) {
+      it->value = value;
+      return false;
+    }
+    data_.insert(it, Entry{key, value});
+    return true;
+  }
+
+  /// Add `delta` to the value at `key`, inserting `delta` if absent.
+  /// Returns a reference to the stored value.
+  Value& add(Key key, Value delta) {
+    auto it = lower(key);
+    if (it != data_.end() && it->key == key) {
+      it->value += delta;
+      return it->value;
+    }
+    it = data_.insert(it, Entry{key, delta});
+    return it->value;
+  }
+
+  /// Append an entry whose key is greater than every stored key — O(1).
+  /// Used by merge-joins that produce keys in ascending order.
+  void push_back_sorted(Key key, Value value) {
+    data_.push_back(Entry{key, value});
+  }
+
+  /// Erase `key`; returns true if it was present.
+  bool erase(Key key) {
+    auto it = lower(key);
+    if (it == data_.end() || it->key != key) return false;
+    data_.erase(it);
+    return true;
+  }
+
+  /// Entry with the maximum value (linear scan); nullptr if empty.
+  [[nodiscard]] const Entry* max_value_entry() const {
+    const Entry* best = nullptr;
+    for (const auto& e : data_)
+      if (!best || e.value > best->value) best = &e;
+    return best;
+  }
+
+  // Sorted-order iteration.
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+
+ private:
+  std::vector<Entry> data_;
+
+  [[nodiscard]] auto lower(Key key) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const Entry& e, Key k) { return e.key < k; });
+  }
+  [[nodiscard]] auto lower(Key key) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const Entry& e, Key k) { return e.key < k; });
+  }
+};
+
+}  // namespace snap

@@ -1,0 +1,308 @@
+#include "snap/ds/treap.hpp"
+
+#include <utility>
+
+namespace snap {
+
+namespace {
+
+/// Stateless hash giving each key a pseudo-random heap priority, so a treap's
+/// shape depends only on its key set (canonical form — vital for composable
+/// split/join/union without shared RNG state).
+std::uint64_t priority_of(std::int64_t key) {
+  auto z = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct Treap::Node {
+  std::int64_t key;
+  std::uint64_t prio;
+  Node* left = nullptr;
+  Node* right = nullptr;
+
+  explicit Node(std::int64_t k) : key(k), prio(priority_of(k)) {}
+};
+
+namespace {
+
+using Node = Treap::Node;
+
+void free_tree(Node* t) {
+  if (!t) return;
+  free_tree(t->left);
+  free_tree(t->right);
+  delete t;
+}
+
+std::size_t count_nodes(const Node* t) {
+  return t ? 1 + count_nodes(t->left) + count_nodes(t->right) : 0;
+}
+
+/// Split t into keys < pivot and keys >= pivot.
+void split_at(Node* t, std::int64_t pivot, Node*& lo, Node*& hi) {
+  if (!t) {
+    lo = hi = nullptr;
+    return;
+  }
+  if (t->key < pivot) {
+    split_at(t->right, pivot, t->right, hi);
+    lo = t;
+  } else {
+    split_at(t->left, pivot, lo, t->left);
+    hi = t;
+  }
+}
+
+/// Join: all keys of a < all keys of b.
+Node* join(Node* a, Node* b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->prio > b->prio) {
+    a->right = join(a->right, b);
+    return a;
+  }
+  b->left = join(a, b->left);
+  return b;
+}
+
+Node* insert_node(Node* t, Node* nu, bool& inserted) {
+  if (!t) {
+    inserted = true;
+    return nu;
+  }
+  if (nu->key == t->key) {
+    inserted = false;
+    delete nu;
+    return t;
+  }
+  if (nu->prio > t->prio) {
+    // nu becomes the new root of this subtree.
+    split_at(t, nu->key, nu->left, nu->right);
+    inserted = true;
+    return nu;
+  }
+  if (nu->key < t->key)
+    t->left = insert_node(t->left, nu, inserted);
+  else
+    t->right = insert_node(t->right, nu, inserted);
+  return t;
+}
+
+Node* erase_node(Node* t, std::int64_t key, bool& erased) {
+  if (!t) {
+    erased = false;
+    return nullptr;
+  }
+  if (t->key == key) {
+    Node* merged = join(t->left, t->right);
+    delete t;
+    erased = true;
+    return merged;
+  }
+  if (key < t->key)
+    t->left = erase_node(t->left, key, erased);
+  else
+    t->right = erase_node(t->right, key, erased);
+  return t;
+}
+
+/// Destructive union of two treaps (Blelloch-style recursive merge).
+Node* union_trees(Node* a, Node* b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->prio < b->prio) std::swap(a, b);
+  // a has the higher priority: split b around a->key and recurse.
+  Node *lo = nullptr, *hi = nullptr;
+  split_at(b, a->key, lo, hi);
+  // Drop a duplicate of a->key from hi if present.
+  bool erased = false;
+  hi = erase_node(hi, a->key, erased);
+  a->left = union_trees(a->left, lo);
+  a->right = union_trees(a->right, hi);
+  return a;
+}
+
+Node* intersect_trees(Node* a, Node* b) {
+  if (!a || !b) {
+    free_tree(a);
+    free_tree(b);
+    return nullptr;
+  }
+  if (a->prio < b->prio) std::swap(a, b);
+  Node *lo = nullptr, *hi = nullptr;
+  split_at(b, a->key, lo, hi);
+  bool present = false;
+  hi = erase_node(hi, a->key, present);
+  Node* left = intersect_trees(a->left, lo);
+  Node* right = intersect_trees(a->right, hi);
+  a->left = a->right = nullptr;
+  if (present) {
+    a->left = left;
+    a->right = right;
+    return a;
+  }
+  delete a;
+  return join(left, right);
+}
+
+/// a \ b, destructive on both.
+Node* difference_trees(Node* a, Node* b) {
+  if (!a) {
+    free_tree(b);
+    return nullptr;
+  }
+  if (!b) return a;
+  // Split a around b's root key.
+  Node *lo = nullptr, *hi = nullptr;
+  split_at(a, b->key, lo, hi);
+  bool erased = false;
+  hi = erase_node(hi, b->key, erased);
+  Node* bl = b->left;
+  Node* br = b->right;
+  b->left = b->right = nullptr;
+  delete b;
+  return join(difference_trees(lo, bl), difference_trees(hi, br));
+}
+
+void traverse(const Node* t, const std::function<void(std::int64_t)>& fn) {
+  if (!t) return;
+  traverse(t->left, fn);
+  fn(t->key);
+  traverse(t->right, fn);
+}
+
+Node* build_sorted(const std::vector<std::int64_t>& keys, std::size_t lo,
+                   std::size_t hi) {
+  // Build by cartesian-tree construction over hash priorities: pick the max
+  // priority in [lo, hi) as root.  O(n log n) here (linear scan per level on
+  // average); adequate for construction from adjacency snapshots.
+  if (lo >= hi) return nullptr;
+  std::size_t best = lo;
+  std::uint64_t best_p = priority_of(keys[lo]);
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const std::uint64_t p = priority_of(keys[i]);
+    if (p > best_p) {
+      best_p = p;
+      best = i;
+    }
+  }
+  auto* root = new Node(keys[best]);
+  root->left = build_sorted(keys, lo, best);
+  root->right = build_sorted(keys, best + 1, hi);
+  return root;
+}
+
+}  // namespace
+
+Treap::~Treap() { free_tree(root_); }
+
+Treap& Treap::operator=(Treap&& other) noexcept {
+  if (this != &other) {
+    free_tree(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+bool Treap::insert(std::int64_t key) {
+  bool inserted = false;
+  root_ = insert_node(root_, new Node(key), inserted);
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool Treap::erase(std::int64_t key) {
+  bool erased = false;
+  root_ = erase_node(root_, key, erased);
+  if (erased) --size_;
+  return erased;
+}
+
+bool Treap::contains(std::int64_t key) const {
+  const Node* t = root_;
+  while (t) {
+    if (key == t->key) return true;
+    t = key < t->key ? t->left : t->right;
+  }
+  return false;
+}
+
+bool Treap::lower_bound(std::int64_t key, std::int64_t& out) const {
+  const Node* t = root_;
+  bool found = false;
+  while (t) {
+    if (t->key >= key) {
+      out = t->key;
+      found = true;
+      t = t->left;
+    } else {
+      t = t->right;
+    }
+  }
+  return found;
+}
+
+void Treap::for_each(const std::function<void(std::int64_t)>& fn) const {
+  traverse(root_, fn);
+}
+
+std::vector<std::int64_t> Treap::to_vector() const {
+  std::vector<std::int64_t> out;
+  out.reserve(size_);
+  traverse(root_, [&](std::int64_t k) { out.push_back(k); });
+  return out;
+}
+
+void Treap::clear() {
+  free_tree(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+Treap Treap::split(std::int64_t pivot) {
+  Node *lo = nullptr, *hi = nullptr;
+  split_at(root_, pivot, lo, hi);
+  root_ = lo;
+  Treap rest;
+  rest.root_ = hi;
+  rest.size_ = count_nodes(hi);
+  size_ -= rest.size_;
+  return rest;
+}
+
+void Treap::union_with(Treap&& other) {
+  root_ = union_trees(root_, other.root_);
+  other.root_ = nullptr;
+  other.size_ = 0;
+  size_ = count_nodes(root_);
+}
+
+void Treap::intersect_with(Treap&& other) {
+  root_ = intersect_trees(root_, other.root_);
+  other.root_ = nullptr;
+  other.size_ = 0;
+  size_ = count_nodes(root_);
+}
+
+void Treap::difference_with(Treap&& other) {
+  root_ = difference_trees(root_, other.root_);
+  other.root_ = nullptr;
+  other.size_ = 0;
+  size_ = count_nodes(root_);
+}
+
+Treap Treap::from_sorted(const std::vector<std::int64_t>& keys) {
+  Treap t;
+  t.root_ = build_sorted(keys, 0, keys.size());
+  t.size_ = keys.size();
+  return t;
+}
+
+}  // namespace snap

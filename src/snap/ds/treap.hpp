@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace snap {
+
+/// Randomized search tree (treap) over int64 keys.
+///
+/// The paper (§3, Data Representation) stores adjacencies of *high-degree*
+/// vertices of a dynamic small-world graph in treaps [Seidel & Aragon 96],
+/// because they support fast insertion, deletion, search, splitting and
+/// joining, plus efficient set operations (union / intersection / difference).
+///
+/// This is a set treap: duplicate keys are ignored on insert.  Heap priorities
+/// are derived from a hash of the key, which makes the structure of a treap a
+/// deterministic function of its key set — so split/join/union compose without
+/// an external RNG and tests are reproducible.
+class Treap {
+ public:
+  Treap() = default;
+  ~Treap();
+  Treap(const Treap&) = delete;
+  Treap& operator=(const Treap&) = delete;
+  Treap(Treap&& other) noexcept : root_(other.root_), size_(other.size_) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  Treap& operator=(Treap&& other) noexcept;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Insert key; returns true if it was not already present.
+  bool insert(std::int64_t key);
+
+  /// Erase key; returns true if it was present.
+  bool erase(std::int64_t key);
+
+  [[nodiscard]] bool contains(std::int64_t key) const;
+
+  /// Smallest key >= `key`, or nullopt-like: returns false if none.
+  bool lower_bound(std::int64_t key, std::int64_t& out) const;
+
+  /// In-order traversal.
+  void for_each(const std::function<void(std::int64_t)>& fn) const;
+
+  /// All keys in ascending order.
+  [[nodiscard]] std::vector<std::int64_t> to_vector() const;
+
+  void clear();
+
+  /// Split into keys < pivot (left, kept in *this) and keys >= pivot (returned).
+  Treap split(std::int64_t pivot);
+
+  /// Destructive set union: consumes `other`, result in *this.
+  void union_with(Treap&& other);
+
+  /// Destructive set intersection with `other` (consumed); result in *this.
+  void intersect_with(Treap&& other);
+
+  /// Destructive set difference *this \ other (`other` consumed).
+  void difference_with(Treap&& other);
+
+  /// Build from a sorted, deduplicated key range in O(n).
+  static Treap from_sorted(const std::vector<std::int64_t>& keys);
+
+  struct Node;  // defined in treap.cpp; public so file-local helpers can use it
+
+ private:
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace snap

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace snap {
+
+/// Disjoint-set forest with path-halving and union-by-size.
+/// Used by Borůvka MST, dendrogram replay, and the partitioner's coarsening.
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), std::int64_t{0});
+    size_.assign(n, 1);
+    num_sets_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+
+  std::int64_t find(std::int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets containing a and b; returns false if already one set.
+  bool unite(std::int64_t a, std::int64_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --num_sets_;
+    return true;
+  }
+
+  /// Root lookup without path compression — safe to call concurrently from
+  /// many threads as long as no thread calls unite()/find() meanwhile.
+  [[nodiscard]] std::int64_t find_no_compress(std::int64_t x) const {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
+  [[nodiscard]] bool connected(std::int64_t a, std::int64_t b) {
+    return find(a) == find(b);
+  }
+
+  /// Size of the set containing x.
+  std::int64_t set_size(std::int64_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::int64_t> parent_;
+  std::vector<std::int64_t> size_;
+  std::size_t num_sets_ = 0;
+};
+
+}  // namespace snap

@@ -1,0 +1,45 @@
+#include "snap/gen/generators.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap::gen {
+
+CSRGraph barabasi_albert(vid_t n, vid_t m_per_vertex, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n * m_per_vertex));
+  // Repeated-endpoints list: sampling a uniform entry samples a vertex with
+  // probability proportional to its degree (the classic O(1) BA trick).
+  std::vector<vid_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2 * n * m_per_vertex));
+
+  // Seed clique over the first m_per_vertex + 1 vertices.
+  const vid_t seed_n = std::min<vid_t>(n, m_per_vertex + 1);
+  for (vid_t u = 0; u < seed_n; ++u) {
+    for (vid_t v = u + 1; v < seed_n; ++v) {
+      edges.push_back({u, v, 1.0});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  for (vid_t v = seed_n; v < n; ++v) {
+    // Pick m distinct targets by preferential attachment.
+    std::vector<vid_t> targets;
+    int guard = 0;
+    while (static_cast<vid_t>(targets.size()) < m_per_vertex &&
+           guard++ < 64 * m_per_vertex) {
+      const vid_t t = endpoints[rng.next_bounded(endpoints.size())];
+      bool dup = t == v;
+      for (vid_t x : targets) dup = dup || x == t;
+      if (!dup) targets.push_back(t);
+    }
+    for (vid_t t : targets) {
+      edges.push_back({v, t, 1.0});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+}  // namespace snap::gen

@@ -1,0 +1,65 @@
+#include <iterator>
+#include <utility>
+
+#include "snap/gen/generators.hpp"
+
+namespace snap::gen {
+
+CSRGraph karate_club() {
+  // Zachary (1977) karate club, 34 vertices / 78 edges, 0-indexed.
+  static const std::pair<vid_t, vid_t> kEdges[] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  EdgeList edges;
+  edges.reserve(std::size(kEdges));
+  for (const auto& [u, v] : kEdges) edges.push_back({u, v, 1.0});
+  return CSRGraph::from_edges(34, edges, /*directed=*/false);
+}
+
+CSRGraph path_graph(vid_t n) {
+  EdgeList edges;
+  for (vid_t v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 1.0});
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+CSRGraph cycle_graph(vid_t n) {
+  EdgeList edges;
+  for (vid_t v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1.0});
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+CSRGraph complete_graph(vid_t n) {
+  EdgeList edges;
+  for (vid_t u = 0; u < n; ++u)
+    for (vid_t v = u + 1; v < n; ++v) edges.push_back({u, v, 1.0});
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+CSRGraph star_graph(vid_t leaves) {
+  EdgeList edges;
+  for (vid_t v = 1; v <= leaves; ++v) edges.push_back({0, v, 1.0});
+  return CSRGraph::from_edges(leaves + 1, edges, /*directed=*/false);
+}
+
+CSRGraph barbell_graph(vid_t half) {
+  EdgeList edges;
+  for (vid_t u = 0; u < half; ++u)
+    for (vid_t v = u + 1; v < half; ++v) edges.push_back({u, v, 1.0});
+  for (vid_t u = 0; u < half; ++u)
+    for (vid_t v = u + 1; v < half; ++v)
+      edges.push_back({half + u, half + v, 1.0});
+  edges.push_back({half - 1, half, 1.0});  // the bridge
+  return CSRGraph::from_edges(2 * half, edges, /*directed=*/false);
+}
+
+}  // namespace snap::gen

@@ -1,0 +1,22 @@
+#include "snap/gen/generators.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap::gen {
+
+CSRGraph erdos_renyi(vid_t n, eid_t m, bool directed, std::uint64_t seed) {
+  EdgeList edges(static_cast<std::size_t>(m));
+  const SplitMix64 base(seed);
+  parallel::parallel_for(m, [&](eid_t e) {
+    SplitMix64 rng = base.fork(static_cast<std::uint64_t>(e));
+    vid_t u, v;
+    do {
+      u = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
+      v = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
+    } while (u == v);
+    edges[static_cast<std::size_t>(e)] = Edge{u, v, 1.0};
+  });
+  return CSRGraph::from_edges(n, edges, directed);
+}
+
+}  // namespace snap::gen

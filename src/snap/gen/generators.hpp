@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/graph/types.hpp"
+
+namespace snap::gen {
+
+/// R-MAT recursive-matrix generator [Chakrabarti et al.] — the paper's
+/// synthetic small-world instance class (RMAT-SF: a=0.55 b=0.1 c=0.1 d=0.25
+/// style skew).  Produces `m` edges over `n = 2^scale` vertices with a
+/// power-law-like degree distribution.
+struct RmatParams {
+  int scale = 18;             ///< n = 2^scale
+  eid_t edge_factor = 4;      ///< m = edge_factor * n (ignored if m set)
+  eid_t m = 0;                ///< explicit edge count; 0 = edge_factor * n
+  double a = 0.55, b = 0.1, c = 0.1, d = 0.25;
+  double noise = 0.1;         ///< per-level parameter perturbation
+  bool directed = false;
+  std::uint64_t seed = 1;
+};
+CSRGraph rmat(const RmatParams& p);
+
+/// Sparse uniform random graph G(n, m) (Erdős–Rényi; the "sparse random"
+/// instance of Table 1).
+CSRGraph erdos_renyi(vid_t n, eid_t m, bool directed = false,
+                     std::uint64_t seed = 1);
+
+/// Nearly-Euclidean road-network-like graph (the "Physical (road)" instance
+/// of Table 1): a `rows x cols` grid where each vertex connects to its grid
+/// neighbors, with a fraction `extra_frac` of short-range diagonal shortcuts
+/// and `drop_frac` of grid edges removed to mimic irregular road topology.
+CSRGraph grid_road(vid_t rows, vid_t cols, double extra_frac = 0.05,
+                   double drop_frac = 0.05, std::uint64_t seed = 1);
+
+/// Watts–Strogatz small-world graph: ring lattice with k neighbors per side,
+/// each edge rewired with probability `beta`.
+CSRGraph watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed = 1);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_per_vertex` existing vertices chosen proportionally to degree.
+/// Produces the power-law degree distribution of the small-world family
+/// the paper targets ([3, 4] in §1).
+CSRGraph barabasi_albert(vid_t n, vid_t m_per_vertex, std::uint64_t seed = 1);
+
+/// Planted-partition (stochastic block model) graph: `k` communities of
+/// near-equal size, expected intra-community degree `deg_in` and
+/// inter-community degree `deg_out` per vertex.  Ground-truth membership is
+/// returned through `membership` when non-null.  This is the stand-in for
+/// the real community-structured networks of Tables 2–3.
+CSRGraph planted_partition(vid_t n, vid_t k, double deg_in, double deg_out,
+                           std::uint64_t seed = 1,
+                           std::vector<vid_t>* membership = nullptr);
+
+/// Zachary's karate club (34 vertices, 78 edges) — the one Table 2 network
+/// small and famous enough to embed verbatim.
+CSRGraph karate_club();
+
+/// Deterministic structured graphs used by tests and examples.
+CSRGraph path_graph(vid_t n);
+CSRGraph cycle_graph(vid_t n);
+CSRGraph complete_graph(vid_t n);
+CSRGraph star_graph(vid_t leaves);
+/// Two complete graphs of size `half` joined by a single bridge edge.
+CSRGraph barbell_graph(vid_t half);
+
+}  // namespace snap::gen

@@ -1,0 +1,39 @@
+#include "snap/gen/generators.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap::gen {
+
+CSRGraph grid_road(vid_t rows, vid_t cols, double extra_frac, double drop_frac,
+                   std::uint64_t seed) {
+  const vid_t n = rows * cols;
+  SplitMix64 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(2 * n));
+  auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      // Grid edges, thinned by drop_frac to mimic irregular road layouts.
+      if (c + 1 < cols && rng.next_double() >= drop_frac)
+        edges.push_back({id(r, c), id(r, c + 1), 1.0});
+      if (r + 1 < rows && rng.next_double() >= drop_frac)
+        edges.push_back({id(r, c), id(r + 1, c), 1.0});
+      // Short-range diagonal shortcuts (roads are locally, not globally,
+      // connected — this keeps the topology nearly Euclidean).
+      if (r + 1 < rows && c + 1 < cols && rng.next_double() < extra_frac)
+        edges.push_back({id(r, c), id(r + 1, c + 1), 1.0});
+    }
+  }
+
+  // A thinned grid can disconnect; stitch rows together so kernels that
+  // assume one large component (BFS-based metrics) behave like a real
+  // road network's giant component.
+  for (vid_t r = 0; r + 1 < rows; ++r)
+    edges.push_back({id(r, 0), id(r + 1, 0), 1.0});
+  for (vid_t c = 0; c + 1 < cols; ++c)
+    edges.push_back({id(0, c), id(0, c + 1), 1.0});
+
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+}  // namespace snap::gen

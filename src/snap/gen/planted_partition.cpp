@@ -1,0 +1,52 @@
+#include <cmath>
+
+#include "snap/gen/generators.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap::gen {
+
+CSRGraph planted_partition(vid_t n, vid_t k, double deg_in, double deg_out,
+                           std::uint64_t seed,
+                           std::vector<vid_t>* membership) {
+  SplitMix64 rng(seed);
+  std::vector<vid_t> member(static_cast<std::size_t>(n));
+  // Contiguous near-equal blocks.
+  for (vid_t v = 0; v < n; ++v) member[v] = (v * k) / n;
+  std::vector<std::vector<vid_t>> blocks(static_cast<std::size_t>(k));
+  for (vid_t v = 0; v < n; ++v) blocks[member[v]].push_back(v);
+
+  // Expected edge counts: each vertex contributes deg_in/2 intra edges and
+  // deg_out/2 inter edges (each edge is counted from both endpoints).
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n * (deg_in + deg_out) / 2 + 16));
+
+  const auto intra_total = static_cast<eid_t>(std::llround(n * deg_in / 2.0));
+  for (eid_t e = 0; e < intra_total; ++e) {
+    // Pick a vertex uniformly, then a partner in its block.
+    const auto u = static_cast<vid_t>(
+        rng.next_bounded(static_cast<std::uint64_t>(n)));
+    const auto& blk = blocks[member[u]];
+    if (blk.size() < 2) continue;
+    vid_t v;
+    do {
+      v = blk[rng.next_bounded(blk.size())];
+    } while (v == u);
+    edges.push_back({u, v, 1.0});
+  }
+
+  const auto inter_total = static_cast<eid_t>(std::llround(n * deg_out / 2.0));
+  for (eid_t e = 0; e < inter_total; ++e) {
+    const auto u = static_cast<vid_t>(
+        rng.next_bounded(static_cast<std::uint64_t>(n)));
+    vid_t v;
+    do {
+      v = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
+    } while (k > 1 ? member[v] == member[u] : v == u);
+    edges.push_back({u, v, 1.0});
+  }
+
+  if (membership) *membership = member;
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+}  // namespace snap::gen

@@ -1,0 +1,47 @@
+#include <algorithm>
+
+#include "snap/gen/generators.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap::gen {
+
+CSRGraph rmat(const RmatParams& p) {
+  const vid_t n = vid_t{1} << p.scale;
+  const eid_t m = p.m > 0 ? p.m : p.edge_factor * n;
+  EdgeList edges(static_cast<std::size_t>(m));
+
+  const SplitMix64 base(p.seed);
+  parallel::parallel_for(m, [&](eid_t e) {
+    SplitMix64 rng = base.fork(static_cast<std::uint64_t>(e));
+    vid_t u = 0, v = 0;
+    double a = p.a, b = p.b, c = p.c, d = p.d;
+    for (int level = 0; level < p.scale; ++level) {
+      // Perturb the quadrant probabilities per level (standard R-MAT
+      // "noise" smoothing to avoid exact self-similarity artifacts).
+      const double na = a * (1.0 + p.noise * (rng.next_double() - 0.5));
+      const double nb = b * (1.0 + p.noise * (rng.next_double() - 0.5));
+      const double nc = c * (1.0 + p.noise * (rng.next_double() - 0.5));
+      const double nd = d * (1.0 + p.noise * (rng.next_double() - 0.5));
+      const double norm = na + nb + nc + nd;
+      const double r = rng.next_double() * norm;
+      u <<= 1;
+      v <<= 1;
+      if (r < na) {
+        // top-left quadrant: no bit set
+      } else if (r < na + nb) {
+        v |= 1;
+      } else if (r < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges[static_cast<std::size_t>(e)] = Edge{u, v, 1.0};
+  });
+
+  return CSRGraph::from_edges(n, edges, p.directed);
+}
+
+}  // namespace snap::gen

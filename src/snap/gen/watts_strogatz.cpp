@@ -1,0 +1,27 @@
+#include "snap/gen/generators.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap::gen {
+
+CSRGraph watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n * k));
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t j = 1; j <= k; ++j) {
+      vid_t v = (u + j) % n;
+      if (rng.next_double() < beta) {
+        // Rewire to a uniform random endpoint (avoiding the trivial loop;
+        // parallel-edge collisions are deduped by the CSR builder).
+        do {
+          v = static_cast<vid_t>(
+              rng.next_bounded(static_cast<std::uint64_t>(n)));
+        } while (v == u);
+      }
+      edges.push_back({u, v, 1.0});
+    }
+  }
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+}  // namespace snap::gen

@@ -1,0 +1,127 @@
+#include "snap/graph/attributes.hpp"
+
+#include <stdexcept>
+
+namespace snap {
+
+void AttributeTable::resize(std::size_t size) {
+  size_ = size;
+  for (auto& [name, col] : columns_) {
+    std::visit([size](auto& c) { c.data.resize(size, c.dflt); }, col);
+  }
+}
+
+void AttributeTable::check_new(const std::string& name) const {
+  if (columns_.count(name))
+    throw std::invalid_argument("attribute column exists: " + name);
+}
+
+void AttributeTable::add_int_column(const std::string& name,
+                                    std::int64_t dflt) {
+  check_new(name);
+  columns_.emplace(name,
+                   IntCol{std::vector<std::int64_t>(size_, dflt), dflt});
+}
+
+void AttributeTable::add_real_column(const std::string& name, double dflt) {
+  check_new(name);
+  columns_.emplace(name, RealCol{std::vector<double>(size_, dflt), dflt});
+}
+
+void AttributeTable::add_text_column(const std::string& name,
+                                     const std::string& dflt) {
+  check_new(name);
+  columns_.emplace(name, TextCol{std::vector<std::string>(size_, dflt), dflt});
+}
+
+bool AttributeTable::remove_column(const std::string& name) {
+  return columns_.erase(name) > 0;
+}
+
+bool AttributeTable::has_column(const std::string& name) const {
+  return columns_.count(name) > 0;
+}
+
+const AttributeTable::Column& AttributeTable::column(
+    const std::string& name) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end())
+    throw std::out_of_range("no attribute column: " + name);
+  return it->second;
+}
+
+AttributeTable::Column& AttributeTable::column(const std::string& name) {
+  auto it = columns_.find(name);
+  if (it == columns_.end())
+    throw std::out_of_range("no attribute column: " + name);
+  return it->second;
+}
+
+AttributeTable::Type AttributeTable::type_of(const std::string& name) const {
+  const Column& c = column(name);
+  if (std::holds_alternative<IntCol>(c)) return Type::kInt;
+  if (std::holds_alternative<RealCol>(c)) return Type::kReal;
+  return Type::kText;
+}
+
+std::vector<std::string> AttributeTable::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, col] : columns_) names.push_back(name);
+  return names;
+}
+
+namespace {
+[[noreturn]] void type_error(const std::string& name) {
+  throw std::invalid_argument("attribute column type mismatch: " + name);
+}
+}  // namespace
+
+std::span<std::int64_t> AttributeTable::ints(const std::string& name) {
+  auto* c = std::get_if<IntCol>(&column(name));
+  if (!c) type_error(name);
+  return c->data;
+}
+
+std::span<const std::int64_t> AttributeTable::ints(
+    const std::string& name) const {
+  const auto* c = std::get_if<IntCol>(&column(name));
+  if (!c) type_error(name);
+  return c->data;
+}
+
+std::span<double> AttributeTable::reals(const std::string& name) {
+  auto* c = std::get_if<RealCol>(&column(name));
+  if (!c) type_error(name);
+  return c->data;
+}
+
+std::span<const double> AttributeTable::reals(const std::string& name) const {
+  const auto* c = std::get_if<RealCol>(&column(name));
+  if (!c) type_error(name);
+  return c->data;
+}
+
+std::vector<std::string>& AttributeTable::texts(const std::string& name) {
+  auto* c = std::get_if<TextCol>(&column(name));
+  if (!c) type_error(name);
+  return c->data;
+}
+
+const std::vector<std::string>& AttributeTable::texts(
+    const std::string& name) const {
+  const auto* c = std::get_if<TextCol>(&column(name));
+  if (!c) type_error(name);
+  return c->data;
+}
+
+std::vector<vid_t> AttributeTable::select_int_eq(const std::string& name,
+                                                 std::int64_t value) const {
+  const auto col = ints(name);
+  std::vector<vid_t> out;
+  for (std::size_t i = 0; i < col.size(); ++i)
+    if (col[i] == value) out.push_back(static_cast<vid_t>(i));
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "snap/graph/types.hpp"
+
+namespace snap {
+
+/// Typed attribute columns over vertices or edges — the "vertices and edges
+/// can further be typed, classified, or assigned attributes based on
+/// relational information" capability of §1.  A table is a set of named,
+/// homogeneously-typed columns, all of the same length (the vertex count or
+/// the logical edge count of the graph it annotates).
+///
+/// Columns are dense vectors, so bulk analytical passes get contiguous
+/// `std::span` access; per-item get/set is for convenience paths.
+class AttributeTable {
+ public:
+  enum class Type { kInt, kReal, kText };
+
+  AttributeTable() = default;
+  explicit AttributeTable(std::size_t size) : size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Grow/shrink all columns (new slots take the column's default value).
+  void resize(std::size_t size);
+
+  /// Create a column; throws std::invalid_argument if the name is taken.
+  void add_int_column(const std::string& name, std::int64_t dflt = 0);
+  void add_real_column(const std::string& name, double dflt = 0);
+  void add_text_column(const std::string& name, const std::string& dflt = "");
+
+  /// Drop a column; returns false if absent.
+  bool remove_column(const std::string& name);
+
+  [[nodiscard]] bool has_column(const std::string& name) const;
+  [[nodiscard]] Type type_of(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> column_names() const;
+
+  // Contiguous access (throws on missing name / type mismatch).
+  [[nodiscard]] std::span<std::int64_t> ints(const std::string& name);
+  [[nodiscard]] std::span<const std::int64_t> ints(const std::string& name) const;
+  [[nodiscard]] std::span<double> reals(const std::string& name);
+  [[nodiscard]] std::span<const double> reals(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string>& texts(const std::string& name);
+  [[nodiscard]] const std::vector<std::string>& texts(
+      const std::string& name) const;
+
+  /// Items whose int column equals `value` (a classification filter —
+  /// e.g. select vertices of a given type before an induced-subgraph pass).
+  [[nodiscard]] std::vector<vid_t> select_int_eq(const std::string& name,
+                                                 std::int64_t value) const;
+
+ private:
+  struct IntCol {
+    std::vector<std::int64_t> data;
+    std::int64_t dflt;
+  };
+  struct RealCol {
+    std::vector<double> data;
+    double dflt;
+  };
+  struct TextCol {
+    std::vector<std::string> data;
+    std::string dflt;
+  };
+  using Column = std::variant<IntCol, RealCol, TextCol>;
+
+  void check_new(const std::string& name) const;
+  [[nodiscard]] const Column& column(const std::string& name) const;
+  [[nodiscard]] Column& column(const std::string& name);
+
+  std::size_t size_ = 0;
+  std::map<std::string, Column> columns_;
+};
+
+}  // namespace snap

@@ -1,0 +1,131 @@
+#include "snap/graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+namespace {
+
+/// Normalize, optionally dedupe, and drop self loops.  For undirected graphs
+/// edges are canonicalized to u <= v before deduping.
+EdgeList prepare_edges(vid_t n, const EdgeList& input, bool directed,
+                       const BuildOptions& opts) {
+  EdgeList edges;
+  edges.reserve(input.size());
+  for (const Edge& e : input) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n)
+      throw std::out_of_range("CSRGraph::from_edges: vertex id out of range");
+    if (opts.remove_self_loops && e.u == e.v) continue;
+    Edge c = e;
+    if (!directed && c.u > c.v) std::swap(c.u, c.v);
+    edges.push_back(c);
+  }
+  if (opts.dedupe) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.u == b.u && a.v == b.v;
+                            }),
+                edges.end());
+  }
+  return edges;
+}
+
+}  // namespace
+
+CSRGraph CSRGraph::from_edges(vid_t n, const EdgeList& input, bool directed,
+                              const BuildOptions& opts) {
+  CSRGraph g;
+  g.n_ = n;
+  g.directed_ = directed;
+  g.edge_endpoints_ = prepare_edges(n, input, directed, opts);
+  g.m_ = static_cast<eid_t>(g.edge_endpoints_.size());
+  g.weighted_ = std::any_of(g.edge_endpoints_.begin(), g.edge_endpoints_.end(),
+                            [](const Edge& e) { return e.w != 1.0; });
+
+  [[maybe_unused]] const eid_t arcs = directed ? g.m_ : 2 * g.m_;
+  std::vector<eid_t> deg(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : g.edge_endpoints_) {
+    ++deg[e.u];
+    if (!directed) ++deg[e.v];
+  }
+  g.offsets_.resize(static_cast<std::size_t>(n) + 1);
+  parallel::exclusive_prefix_sum(deg.data(), g.offsets_.data(),
+                                 static_cast<std::size_t>(n));
+  assert(g.offsets_[n] == arcs);
+
+  g.adj_.resize(arcs);
+  g.weights_.resize(arcs);
+  g.arc_edge_ids_.resize(arcs);
+  std::vector<eid_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (eid_t e = 0; e < g.m_; ++e) {
+    const Edge& ed = g.edge_endpoints_[e];
+    eid_t a = cursor[ed.u]++;
+    g.adj_[a] = ed.v;
+    g.weights_[a] = ed.w;
+    g.arc_edge_ids_[a] = e;
+    if (!directed) {
+      a = cursor[ed.v]++;
+      g.adj_[a] = ed.u;
+      g.weights_[a] = ed.w;
+      g.arc_edge_ids_[a] = e;
+    }
+  }
+
+  if (opts.sort_adjacency) {
+    parallel::parallel_for_dynamic(n, [&](vid_t v) {
+      const eid_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
+      const auto len = static_cast<std::size_t>(hi - lo);
+      if (len < 2) return;
+      std::vector<eid_t> idx(len);
+      std::iota(idx.begin(), idx.end(), lo);
+      std::sort(idx.begin(), idx.end(),
+                [&](eid_t a, eid_t b) { return g.adj_[a] < g.adj_[b]; });
+      std::vector<vid_t> a2(len);
+      std::vector<weight_t> w2(len);
+      std::vector<eid_t> id2(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        a2[i] = g.adj_[idx[i]];
+        w2[i] = g.weights_[idx[i]];
+        id2[i] = g.arc_edge_ids_[idx[i]];
+      }
+      std::copy(a2.begin(), a2.end(), g.adj_.begin() + lo);
+      std::copy(w2.begin(), w2.end(), g.weights_.begin() + lo);
+      std::copy(id2.begin(), id2.end(), g.arc_edge_ids_.begin() + lo);
+    });
+    g.sorted_ = true;
+  }
+  return g;
+}
+
+bool CSRGraph::has_edge(vid_t u, vid_t v) const {
+  const auto nb = neighbors(u);
+  if (sorted_) return std::binary_search(nb.begin(), nb.end(), v);
+  return std::find(nb.begin(), nb.end(), v) != nb.end();
+}
+
+eid_t CSRGraph::max_degree() const {
+  eid_t best = 0;
+  for (vid_t v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+weight_t CSRGraph::total_edge_weight() const {
+  weight_t total = 0;
+  for (const Edge& e : edge_endpoints_) total += e.w;
+  return total;
+}
+
+CSRGraph CSRGraph::as_undirected() const {
+  return from_edges(n_, edge_endpoints_, /*directed=*/false);
+}
+
+}  // namespace snap

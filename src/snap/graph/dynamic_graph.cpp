@@ -1,0 +1,101 @@
+#include "snap/graph/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+DynamicGraph::DynamicGraph(vid_t n, bool directed, eid_t promote_threshold)
+    : directed_(directed),
+      promote_threshold_(std::max<eid_t>(promote_threshold, 2)),
+      flat_(static_cast<std::size_t>(n)),
+      treap_(static_cast<std::size_t>(n)) {}
+
+vid_t DynamicGraph::add_vertex() {
+  flat_.emplace_back();
+  treap_.emplace_back();
+  return static_cast<vid_t>(flat_.size()) - 1;
+}
+
+bool DynamicGraph::insert_arc(vid_t u, vid_t v) {
+  if (!treap_[u].empty()) return treap_[u].insert(v);
+  auto& a = flat_[u];
+  if (std::find(a.begin(), a.end(), v) != a.end()) return false;
+  a.push_back(v);
+  if (static_cast<eid_t>(a.size()) > promote_threshold_) {
+    // Promote: migrate the flat array into a treap.
+    std::sort(a.begin(), a.end());
+    treap_[u] = Treap::from_sorted(a);
+    a.clear();
+    a.shrink_to_fit();
+  }
+  return true;
+}
+
+bool DynamicGraph::delete_arc(vid_t u, vid_t v) {
+  if (!treap_[u].empty()) return treap_[u].erase(v);
+  auto& a = flat_[u];
+  auto it = std::find(a.begin(), a.end(), v);
+  if (it == a.end()) return false;
+  *it = a.back();
+  a.pop_back();
+  return true;
+}
+
+bool DynamicGraph::has_arc(vid_t u, vid_t v) const {
+  if (!treap_[u].empty()) return treap_[u].contains(v);
+  const auto& a = flat_[u];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+bool DynamicGraph::insert_edge(vid_t u, vid_t v) {
+  if (has_arc(u, v)) return false;
+  insert_arc(u, v);
+  if (!directed_ && u != v) insert_arc(v, u);
+  ++m_;
+  return true;
+}
+
+bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
+  if (!delete_arc(u, v)) return false;
+  if (!directed_ && u != v) delete_arc(v, u);
+  --m_;
+  return true;
+}
+
+bool DynamicGraph::has_edge(vid_t u, vid_t v) const { return has_arc(u, v); }
+
+eid_t DynamicGraph::degree(vid_t v) const {
+  return treap_[v].empty() ? static_cast<eid_t>(flat_[v].size())
+                           : static_cast<eid_t>(treap_[v].size());
+}
+
+void DynamicGraph::for_each_neighbor(
+    vid_t v, const std::function<void(vid_t)>& fn) const {
+  if (!treap_[v].empty()) {
+    treap_[v].for_each(fn);
+  } else {
+    for (vid_t u : flat_[v]) fn(u);
+  }
+}
+
+CSRGraph DynamicGraph::to_csr() const {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m_));
+  const vid_t n = num_vertices();
+  for (vid_t u = 0; u < n; ++u) {
+    for_each_neighbor(u, [&](vid_t v) {
+      if (directed_ || u <= v) edges.push_back({u, v, 1.0});
+    });
+  }
+  return CSRGraph::from_edges(n, edges, directed_);
+}
+
+DynamicGraph DynamicGraph::from_csr(const CSRGraph& g, eid_t promote_threshold) {
+  DynamicGraph d(g.num_vertices(), g.directed(), promote_threshold);
+  for (const Edge& e : g.edges()) d.insert_edge(e.u, e.v);
+  return d;
+}
+
+}  // namespace snap

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "snap/ds/treap.hpp"
+#include "snap/graph/types.hpp"
+
+namespace snap {
+
+class CSRGraph;
+
+/// Dynamic graph with the degree-hybrid adjacency layout of §3 ("Data
+/// Representation"): small-world degree distributions are heavily skewed, so
+/// adjacencies of the many low-degree vertices live in simple unsorted
+/// resizable arrays, while adjacencies of the few high-degree vertices are
+/// promoted to treaps, which support fast insertion, deletion and search.
+///
+/// The structure is unweighted and stores both arcs for undirected graphs.
+class DynamicGraph {
+ public:
+  /// `promote_threshold` — degree at which a vertex's adjacency is migrated
+  /// from the flat array to a treap.
+  explicit DynamicGraph(vid_t n = 0, bool directed = false,
+                        eid_t promote_threshold = 128);
+
+  [[nodiscard]] vid_t num_vertices() const {
+    return static_cast<vid_t>(flat_.size());
+  }
+  [[nodiscard]] eid_t num_edges() const { return m_; }
+  [[nodiscard]] bool directed() const { return directed_; }
+
+  /// Append a fresh isolated vertex; returns its id.
+  vid_t add_vertex();
+
+  /// Insert edge (u, v); returns false if it already exists.
+  bool insert_edge(vid_t u, vid_t v);
+
+  /// Delete edge (u, v); returns false if absent.
+  bool delete_edge(vid_t u, vid_t v);
+
+  [[nodiscard]] bool has_edge(vid_t u, vid_t v) const;
+
+  [[nodiscard]] eid_t degree(vid_t v) const;
+
+  /// True if v's adjacency currently lives in a treap.
+  [[nodiscard]] bool is_promoted(vid_t v) const { return !treap_[v].empty(); }
+
+  void for_each_neighbor(vid_t v,
+                         const std::function<void(vid_t)>& fn) const;
+
+  /// Snapshot to the static CSR representation (sorted adjacency).
+  [[nodiscard]] CSRGraph to_csr() const;
+
+  /// Load all edges of a CSR graph (must share directedness).
+  static DynamicGraph from_csr(const CSRGraph& g, eid_t promote_threshold = 128);
+
+ private:
+  bool directed_;
+  eid_t promote_threshold_;
+  eid_t m_ = 0;
+  // Per vertex: flat adjacency until promoted, then the treap owns it.
+  std::vector<std::vector<vid_t>> flat_;
+  std::vector<Treap> treap_;
+
+  bool insert_arc(vid_t u, vid_t v);
+  bool delete_arc(vid_t u, vid_t v);
+  bool has_arc(vid_t u, vid_t v) const;
+};
+
+}  // namespace snap

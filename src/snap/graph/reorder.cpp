@@ -1,0 +1,62 @@
+#include "snap/graph/reorder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "snap/kernels/bfs.hpp"
+
+namespace snap {
+
+ReorderedGraph relabel(const CSRGraph& g,
+                       const std::vector<vid_t>& new_to_old) {
+  if (new_to_old.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("relabel: permutation size mismatch");
+  ReorderedGraph r;
+  r.new_to_old = new_to_old;
+  r.old_to_new.assign(new_to_old.size(), kInvalidVid);
+  for (std::size_t i = 0; i < new_to_old.size(); ++i) {
+    const vid_t old = new_to_old[i];
+    if (old < 0 || old >= g.num_vertices() ||
+        r.old_to_new[static_cast<std::size_t>(old)] != kInvalidVid)
+      throw std::invalid_argument("relabel: not a permutation");
+    r.old_to_new[static_cast<std::size_t>(old)] = static_cast<vid_t>(i);
+  }
+  EdgeList edges;
+  edges.reserve(g.edges().size());
+  for (const Edge& e : g.edges()) {
+    edges.push_back({r.old_to_new[static_cast<std::size_t>(e.u)],
+                     r.old_to_new[static_cast<std::size_t>(e.v)], e.w});
+  }
+  r.graph = CSRGraph::from_edges(g.num_vertices(), edges, g.directed());
+  return r;
+}
+
+ReorderedGraph relabel_by_degree(const CSRGraph& g) {
+  std::vector<vid_t> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return relabel(g, order);
+}
+
+ReorderedGraph relabel_by_bfs(const CSRGraph& g, vid_t source) {
+  const BFSResult b = bfs_serial(g, source);
+  std::vector<vid_t> order;
+  order.reserve(static_cast<std::size_t>(g.num_vertices()));
+  // Visitation order: stable by (distance, id); unreached go last.
+  std::vector<vid_t> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), vid_t{0});
+  std::stable_sort(all.begin(), all.end(), [&](vid_t x, vid_t y) {
+    const auto dx = b.dist[static_cast<std::size_t>(x)];
+    const auto dy = b.dist[static_cast<std::size_t>(y)];
+    const auto kx = dx < 0 ? std::numeric_limits<std::int64_t>::max() : dx;
+    const auto ky = dy < 0 ? std::numeric_limits<std::int64_t>::max() : dy;
+    return kx < ky;
+  });
+  return relabel(g, all);
+}
+
+}  // namespace snap

@@ -1,0 +1,44 @@
+#include "snap/graph/subgraph.hpp"
+
+namespace snap {
+
+Subgraph induced_subgraph(const CSRGraph& g,
+                          const std::vector<vid_t>& vertices) {
+  Subgraph s;
+  s.to_parent = vertices;
+  s.from_parent.assign(static_cast<std::size_t>(g.num_vertices()),
+                       kInvalidVid);
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    s.from_parent[vertices[i]] = static_cast<vid_t>(i);
+
+  EdgeList edges;
+  for (vid_t nu = 0; nu < static_cast<vid_t>(vertices.size()); ++nu) {
+    const vid_t pu = vertices[nu];
+    const auto nb = g.neighbors(pu);
+    const auto ws = g.weights(pu);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const vid_t nv = s.from_parent[nb[i]];
+      if (nv == kInvalidVid) continue;
+      if (!g.directed() && nv < nu) continue;  // emit each edge once
+      edges.push_back({nu, nv, ws[i]});
+    }
+  }
+  s.graph = CSRGraph::from_edges(static_cast<vid_t>(vertices.size()), edges,
+                                 g.directed());
+  return s;
+}
+
+std::vector<Subgraph> split_by_labels(const CSRGraph& g,
+                                      const std::vector<vid_t>& labels,
+                                      vid_t num_components) {
+  std::vector<std::vector<vid_t>> members(
+      static_cast<std::size_t>(num_components));
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    members[labels[v]].push_back(v);
+  std::vector<Subgraph> out;
+  out.reserve(members.size());
+  for (auto& ms : members) out.push_back(induced_subgraph(g, ms));
+  return out;
+}
+
+}  // namespace snap

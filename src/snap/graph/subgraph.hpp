@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/graph/types.hpp"
+
+namespace snap {
+
+/// An induced subgraph together with the vertex-id mappings back to the
+/// parent graph.  Used by the per-component (coarse-grained) phases of pBD
+/// and pLA, and by the partitioner.
+struct Subgraph {
+  CSRGraph graph;
+  std::vector<vid_t> to_parent;    ///< new id -> parent id
+  std::vector<vid_t> from_parent;  ///< parent id -> new id, or kInvalidVid
+};
+
+/// Extract the subgraph induced by `vertices` (parent-graph ids, no
+/// duplicates).  Preserves weights; drops edges leaving the set.
+Subgraph induced_subgraph(const CSRGraph& g, const std::vector<vid_t>& vertices);
+
+/// Split a graph into one induced subgraph per component label.
+/// `labels[v]` must be a dense component id in [0, num_components).
+std::vector<Subgraph> split_by_labels(const CSRGraph& g,
+                                      const std::vector<vid_t>& labels,
+                                      vid_t num_components);
+
+}  // namespace snap

@@ -1,0 +1,60 @@
+#include "snap/io/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace snap::io {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'N', 'A', 'P', 'B', '1', '\n', '\0'};
+
+struct Header {
+  char magic[8];
+  std::int64_t n;
+  std::int64_t m;
+  std::uint8_t directed;
+  std::uint8_t pad[7];
+};
+static_assert(sizeof(Header) == 32);
+
+struct RawEdge {
+  std::int64_t u, v;
+  double w;
+};
+static_assert(sizeof(RawEdge) == 24);
+}  // namespace
+
+void write_binary(const CSRGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write binary graph: " + path);
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.n = g.num_vertices();
+  h.m = g.num_edges();
+  h.directed = g.directed() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (const Edge& e : g.edges()) {
+    RawEdge r{e.u, e.v, e.w};
+    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  }
+}
+
+CSRGraph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("bad binary graph header: " + path);
+  EdgeList edges(static_cast<std::size_t>(h.m));
+  for (auto& e : edges) {
+    RawEdge r{};
+    in.read(reinterpret_cast<char*>(&r), sizeof(r));
+    if (!in) throw std::runtime_error("binary graph truncated: " + path);
+    e = Edge{r.u, r.v, r.w};
+  }
+  return CSRGraph::from_edges(h.n, edges, h.directed != 0);
+}
+
+}  // namespace snap::io

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap::io {
+
+/// Read a graph in DIMACS shortest-path format (`p sp n m`, `a u v w`,
+/// 1-indexed vertices).  The `a` lines are treated as directed arcs;
+/// pass `directed = false` to fold them into undirected edges.
+CSRGraph read_dimacs(const std::string& path, bool directed = true);
+
+/// Write `g` in DIMACS shortest-path format.
+void write_dimacs(const CSRGraph& g, const std::string& path);
+
+}  // namespace snap::io

@@ -1,0 +1,51 @@
+#include "snap/io/edge_list_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace snap::io {
+
+ParsedEdges read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  ParsedEdges out;
+  vid_t max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Optional "# nodes: N" header.
+      const auto pos = line.find("nodes:");
+      if (pos != std::string::npos)
+        out.n = std::stoll(line.substr(pos + 6));
+      continue;
+    }
+    std::istringstream ls(line);
+    Edge e;
+    if (!(ls >> e.u >> e.v)) {
+      throw std::runtime_error("malformed edge list line: " + line);
+    }
+    if (!(ls >> e.w)) e.w = 1.0;
+    max_id = std::max({max_id, e.u, e.v});
+    out.edges.push_back(e);
+  }
+  out.n = std::max(out.n, max_id + 1);
+  return out;
+}
+
+CSRGraph read_edge_list_graph(const std::string& path, bool directed,
+                              const BuildOptions& opts) {
+  ParsedEdges p = read_edge_list(path);
+  return CSRGraph::from_edges(p.n, p.edges, directed, opts);
+}
+
+void write_edge_list(const CSRGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge list: " + path);
+  out << "# nodes: " << g.num_vertices() << "\n";
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << ' ' << e.w << "\n";
+}
+
+}  // namespace snap::io

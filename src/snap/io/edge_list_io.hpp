@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/graph/types.hpp"
+
+namespace snap::io {
+
+/// Raw parse result of an edge-list file: vertex count is inferred as
+/// max id + 1 unless the file carries an explicit `# nodes: N` header.
+struct ParsedEdges {
+  vid_t n = 0;
+  EdgeList edges;
+};
+
+/// Read a whitespace-separated edge list (`u v [w]` per line, `#` comments).
+ParsedEdges read_edge_list(const std::string& path);
+
+/// Convenience: read + build CSR.
+CSRGraph read_edge_list_graph(const std::string& path, bool directed,
+                              const BuildOptions& opts = {});
+
+/// Write `g`'s logical edges as `u v w` lines with a `# nodes: N` header.
+void write_edge_list(const CSRGraph& g, const std::string& path);
+
+}  // namespace snap::io

@@ -1,0 +1,44 @@
+#include "snap/io/graphml_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace snap::io {
+
+void write_graphml(const CSRGraph& g, const std::string& path,
+                   const std::vector<vid_t>& vertex_labels) {
+  if (!vertex_labels.empty() &&
+      vertex_labels.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("write_graphml: label size mismatch");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write GraphML file: " + path);
+
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n"
+      << "  <key id=\"w\" for=\"edge\" attr.name=\"weight\" "
+         "attr.type=\"double\"/>\n";
+  if (!vertex_labels.empty()) {
+    out << "  <key id=\"c\" for=\"node\" attr.name=\"community\" "
+           "attr.type=\"long\"/>\n";
+  }
+  out << "  <graph id=\"G\" edgedefault=\""
+      << (g.directed() ? "directed" : "undirected") << "\">\n";
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    out << "    <node id=\"n" << v << "\"";
+    if (!vertex_labels.empty()) {
+      out << "><data key=\"c\">"
+          << vertex_labels[static_cast<std::size_t>(v)]
+          << "</data></node>\n";
+    } else {
+      out << "/>\n";
+    }
+  }
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    out << "    <edge source=\"n" << ed.u << "\" target=\"n" << ed.v
+        << "\"><data key=\"w\">" << ed.w << "</data></edge>\n";
+  }
+  out << "  </graph>\n</graphml>\n";
+}
+
+}  // namespace snap::io

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap::io {
+
+/// Export `g` as GraphML for visualization tools (Gephi, yEd, Cytoscape —
+/// the visual end of the exploratory workflow §3 motivates).  Edge weights
+/// are written as a `weight` attribute; an optional per-vertex label column
+/// (e.g. community membership) is written as a `community` attribute.
+void write_graphml(const CSRGraph& g, const std::string& path,
+                   const std::vector<vid_t>& vertex_labels = {});
+
+}  // namespace snap::io

@@ -1,0 +1,66 @@
+#include "snap/io/metis_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace snap::io {
+
+CSRGraph read_metis(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open METIS file: " + path);
+  std::string line;
+  auto next_content_line = [&](std::string& dst) {
+    while (std::getline(in, dst))
+      if (!dst.empty() && dst[0] != '%') return true;
+    return false;
+  };
+  if (!next_content_line(line))
+    throw std::runtime_error("empty METIS file: " + path);
+  std::istringstream header(line);
+  vid_t n = 0;
+  eid_t m = 0;
+  int fmt = 0;
+  header >> n >> m;
+  if (!(header >> fmt)) fmt = 0;
+  const bool has_weights = (fmt % 10) == 1;
+
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (vid_t u = 0; u < n; ++u) {
+    if (!next_content_line(line))
+      throw std::runtime_error("METIS file truncated: " + path);
+    std::istringstream ls(line);
+    vid_t v;
+    while (ls >> v) {
+      Edge e{u, v - 1, 1.0};
+      if (has_weights && !(ls >> e.w))
+        throw std::runtime_error("METIS edge weight missing: " + path);
+      if (e.u < e.v) edges.push_back(e);  // each edge listed from both sides
+    }
+  }
+  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+}
+
+void write_metis(const CSRGraph& g, const std::string& path) {
+  if (g.directed())
+    throw std::invalid_argument("write_metis requires an undirected graph");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write METIS file: " + path);
+  const bool weighted = g.weighted();
+  out << g.num_vertices() << ' ' << g.num_edges();
+  if (weighted) out << " 1";
+  out << "\n";
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (i) out << ' ';
+      out << nb[i] + 1;
+      if (weighted) out << ' ' << ws[i];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace snap::io

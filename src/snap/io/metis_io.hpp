@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap::io {
+
+/// Read an undirected graph in METIS .graph format: header `n m [fmt]`
+/// (fmt 1 = edge weights present), then one 1-indexed adjacency line per
+/// vertex; `%` starts a comment line.
+CSRGraph read_metis(const std::string& path);
+
+/// Write `g` (must be undirected) in METIS .graph format.
+void write_metis(const CSRGraph& g, const std::string& path);
+
+}  // namespace snap::io

@@ -1,0 +1,86 @@
+#include "snap/io/pajek_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace snap::io {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CSRGraph read_pajek(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open Pajek file: " + path);
+
+  vid_t n = 0;
+  EdgeList undirected, directed;
+  enum class Section { kNone, kVertices, kEdges, kArcs } section =
+      Section::kNone;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    if (line[0] == '*') {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      tag = lower(tag);
+      if (tag == "*vertices") {
+        if (!(ls >> n))
+          throw std::runtime_error("Pajek *Vertices missing count: " + path);
+        section = Section::kVertices;
+      } else if (tag == "*edges" || tag == "*edgeslist") {
+        section = Section::kEdges;
+      } else if (tag == "*arcs" || tag == "*arcslist") {
+        section = Section::kArcs;
+      } else {
+        section = Section::kNone;  // *Network, *Partition, ... skipped
+      }
+      continue;
+    }
+    if (section == Section::kEdges || section == Section::kArcs) {
+      std::istringstream ls(line);
+      Edge e;
+      if (!(ls >> e.u >> e.v)) continue;
+      if (!(ls >> e.w)) e.w = 1.0;
+      --e.u;  // Pajek is 1-indexed
+      --e.v;
+      (section == Section::kEdges ? undirected : directed).push_back(e);
+    }
+  }
+  if (n == 0)
+    throw std::runtime_error("Pajek file missing *Vertices: " + path);
+
+  if (!directed.empty()) {
+    // Fold any undirected edges into two arcs.
+    for (const Edge& e : undirected) {
+      directed.push_back(e);
+      directed.push_back({e.v, e.u, e.w});
+    }
+    return CSRGraph::from_edges(n, directed, /*directed=*/true);
+  }
+  return CSRGraph::from_edges(n, undirected, /*directed=*/false);
+}
+
+void write_pajek(const CSRGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write Pajek file: " + path);
+  out << "*Vertices " << g.num_vertices() << "\n";
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    out << v + 1 << " \"v" << v << "\"\n";
+  out << (g.directed() ? "*Arcs" : "*Edges") << "\n";
+  for (const Edge& e : g.edges())
+    out << e.u + 1 << ' ' << e.v + 1 << ' ' << e.w << "\n";
+}
+
+}  // namespace snap::io

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap::io {
+
+/// Read a graph in Pajek .net format — the native format of the Pajek SNA
+/// package §3 compares SNAP against (`*Vertices n`, then `*Edges` /
+/// `*Arcs` sections with 1-indexed endpoints and optional weights).
+/// `*Edges` lines are undirected, `*Arcs` lines directed; a file mixing
+/// both is folded to directed.
+CSRGraph read_pajek(const std::string& path);
+
+/// Write `g` in Pajek .net format (vertex labels are "v<id>").
+void write_pajek(const CSRGraph& g, const std::string& path);
+
+}  // namespace snap::io

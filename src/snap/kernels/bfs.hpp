@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Result of a breadth-first traversal.
+struct BFSResult {
+  std::vector<vid_t> parent;        ///< parent in the BFS tree; kInvalidVid if unreached (source's parent is itself)
+  std::vector<std::int64_t> dist;   ///< hop distance; -1 if unreached
+  vid_t num_visited = 0;
+  std::int64_t num_levels = 0;
+};
+
+/// Level-synchronous parallel BFS (§3): vertices at each level are visited in
+/// parallel, visited-tracking is a lock-free atomic bitmap, and work is
+/// balanced by distributing frontier *arcs* (not vertices) across threads so
+/// high-degree vertices of a skewed distribution don't serialize a level.
+BFSResult bfs(const CSRGraph& g, vid_t source);
+
+/// Reference serial BFS (used for validation and for tiny subproblems).
+BFSResult bfs_serial(const CSRGraph& g, vid_t source);
+
+/// Depth-limited BFS — the "path-limited search" paradigm of §3, in which
+/// multiple bounded searches are executed concurrently and aggregated
+/// (pLA's cluster growth is its main client).  Vertices beyond `max_depth`
+/// hops stay unreached.
+BFSResult bfs_bounded(const CSRGraph& g, vid_t source, std::int64_t max_depth);
+
+/// BFS over the subgraph of edges whose logical id is still alive
+/// (`edge_alive[g.arc_edge_id(a)] != 0`).  Restricted to vertices with
+/// `vertex_ok[v] != 0` when `vertex_ok` is non-empty.  This is the traversal
+/// the divisive community algorithms run after marking edges deleted.
+BFSResult bfs_masked(const CSRGraph& g, vid_t source,
+                     const std::vector<std::uint8_t>& edge_alive);
+
+}  // namespace snap

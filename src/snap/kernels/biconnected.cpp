@@ -1,0 +1,117 @@
+#include "snap/kernels/biconnected.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snap {
+
+std::vector<vid_t> BiconnectedResult::articulation_points() const {
+  std::vector<vid_t> out;
+  for (std::size_t v = 0; v < is_articulation.size(); ++v)
+    if (is_articulation[v]) out.push_back(static_cast<vid_t>(v));
+  return out;
+}
+
+std::vector<eid_t> BiconnectedResult::bridges() const {
+  std::vector<eid_t> out;
+  for (std::size_t e = 0; e < is_bridge.size(); ++e)
+    if (is_bridge[e]) out.push_back(static_cast<eid_t>(e));
+  return out;
+}
+
+BiconnectedResult biconnected_components(const CSRGraph& g) {
+  if (g.directed())
+    throw std::invalid_argument(
+        "biconnected_components requires an undirected graph");
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+
+  BiconnectedResult r;
+  r.is_articulation.assign(static_cast<std::size_t>(n), 0);
+  r.is_bridge.assign(static_cast<std::size_t>(m), 0);
+  r.bicomp_id.assign(static_cast<std::size_t>(m), kInvalidEid);
+
+  std::vector<std::int64_t> disc(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> low(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> parent(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<eid_t> parent_edge(static_cast<std::size_t>(n), kInvalidEid);
+  // DFS frame: vertex + index into its adjacency.
+  struct Frame {
+    vid_t v;
+    eid_t next_arc;
+  };
+  std::vector<Frame> stack;
+  std::vector<eid_t> edge_stack;  // logical edge ids awaiting a bicomp
+  std::vector<std::uint8_t> edge_seen(static_cast<std::size_t>(m), 0);
+  std::int64_t time = 0;
+
+  for (vid_t root = 0; root < n; ++root) {
+    if (disc[static_cast<std::size_t>(root)] >= 0) continue;
+    vid_t root_children = 0;
+    disc[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] =
+        time++;
+    stack.push_back({root, g.arc_begin(root)});
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const vid_t u = f.v;
+      if (f.next_arc < g.arc_end(u)) {
+        const eid_t a = f.next_arc++;
+        const vid_t w = g.arc_target(a);
+        const eid_t e = g.arc_edge_id(a);
+        if (e == parent_edge[static_cast<std::size_t>(u)]) continue;
+        if (disc[static_cast<std::size_t>(w)] < 0) {
+          // Tree edge: descend.
+          if (u == root) ++root_children;
+          parent[static_cast<std::size_t>(w)] = u;
+          parent_edge[static_cast<std::size_t>(w)] = e;
+          disc[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = time++;
+          edge_stack.push_back(e);
+          edge_seen[static_cast<std::size_t>(e)] = 1;
+          stack.push_back({w, g.arc_begin(w)});
+        } else if (disc[static_cast<std::size_t>(w)] <
+                   disc[static_cast<std::size_t>(u)]) {
+          // Back edge to an ancestor (visited once thanks to the disc check).
+          if (!edge_seen[static_cast<std::size_t>(e)]) {
+            edge_stack.push_back(e);
+            edge_seen[static_cast<std::size_t>(e)] = 1;
+          }
+          low[static_cast<std::size_t>(u)] =
+              std::min(low[static_cast<std::size_t>(u)],
+                       disc[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        // Post-visit of u: propagate low to parent, close components.
+        stack.pop_back();
+        const vid_t p = parent[static_cast<std::size_t>(u)];
+        if (p == kInvalidVid) continue;
+        low[static_cast<std::size_t>(p)] = std::min(
+            low[static_cast<std::size_t>(p)], low[static_cast<std::size_t>(u)]);
+        if (low[static_cast<std::size_t>(u)] >=
+            disc[static_cast<std::size_t>(p)]) {
+          // p separates u's subtree: pop one biconnected component.
+          if (p != root || root_children > 1)
+            r.is_articulation[static_cast<std::size_t>(p)] = 1;
+          const eid_t pe = parent_edge[static_cast<std::size_t>(u)];
+          eid_t popped = 0;
+          while (!edge_stack.empty()) {
+            const eid_t e = edge_stack.back();
+            edge_stack.pop_back();
+            r.bicomp_id[static_cast<std::size_t>(e)] = r.num_bicomps;
+            ++popped;
+            if (e == pe) break;
+          }
+          if (popped == 1 && low[static_cast<std::size_t>(u)] >
+                                 disc[static_cast<std::size_t>(p)]) {
+            r.is_bridge[static_cast<std::size_t>(pe)] = 1;
+          }
+          ++r.num_bicomps;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace snap

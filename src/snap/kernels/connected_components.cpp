@@ -1,0 +1,107 @@
+#include "snap/kernels/connected_components.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+std::vector<vid_t> Components::sizes() const {
+  std::vector<vid_t> s(static_cast<std::size_t>(count), 0);
+  for (vid_t l : label) ++s[static_cast<std::size_t>(l)];
+  return s;
+}
+
+vid_t Components::giant() const {
+  const auto s = sizes();
+  if (s.empty()) return kInvalidVid;
+  return static_cast<vid_t>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+namespace {
+
+/// Hook-and-shortcut over an edge predicate; the workhorse for both the
+/// plain and the masked variant.
+template <typename EdgeAlive>
+Components sv_components(const CSRGraph& g, EdgeAlive&& alive) {
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+  std::vector<std::atomic<vid_t>> comp(static_cast<std::size_t>(n));
+  parallel::parallel_for(n, [&](vid_t v) {
+    comp[static_cast<std::size_t>(v)].store(v, std::memory_order_relaxed);
+  });
+
+  const auto& edges = g.edges();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Hook: point the larger label's root at the smaller label.
+#pragma omp parallel for schedule(static) reduction(|| : changed)
+    for (eid_t e = 0; e < m; ++e) {
+      if (!alive(e)) continue;
+      const vid_t u = edges[static_cast<std::size_t>(e)].u;
+      const vid_t v = edges[static_cast<std::size_t>(e)].v;
+      const vid_t cu = comp[static_cast<std::size_t>(u)].load(
+          std::memory_order_relaxed);
+      const vid_t cv = comp[static_cast<std::size_t>(v)].load(
+          std::memory_order_relaxed);
+      if (cu == cv) continue;
+      const vid_t hi = std::max(cu, cv);
+      const vid_t lo = std::min(cu, cv);
+      // Only hook roots (comp[hi] == hi) to keep the forest shallow; the
+      // benign race (two edges hooking the same root) resolves because both
+      // writes lower the label and later shortcut rounds converge.
+      vid_t expected = hi;
+      if (comp[static_cast<std::size_t>(hi)].compare_exchange_strong(
+              expected, lo, std::memory_order_relaxed)) {
+        changed = true;
+      } else if (expected > lo) {
+        // hi was no longer a root; retry next round.
+        changed = true;
+      }
+    }
+    // Shortcut: pointer-jump every vertex to its grandparent until flat.
+    parallel::parallel_for(n, [&](vid_t v) {
+      vid_t c = comp[static_cast<std::size_t>(v)].load(
+          std::memory_order_relaxed);
+      while (true) {
+        const vid_t cc =
+            comp[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+        if (cc == c) break;
+        c = cc;
+      }
+      comp[static_cast<std::size_t>(v)].store(c, std::memory_order_relaxed);
+    });
+  }
+
+  // Densify labels to 0..count-1.
+  Components out;
+  out.label.resize(static_cast<std::size_t>(n));
+  std::vector<vid_t> dense(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t next = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t root =
+        comp[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    if (dense[static_cast<std::size_t>(root)] == kInvalidVid)
+      dense[static_cast<std::size_t>(root)] = next++;
+    out.label[static_cast<std::size_t>(v)] = dense[static_cast<std::size_t>(root)];
+  }
+  out.count = next;
+  return out;
+}
+
+}  // namespace
+
+Components connected_components(const CSRGraph& g) {
+  return sv_components(g, [](eid_t) { return true; });
+}
+
+Components connected_components_masked(
+    const CSRGraph& g, const std::vector<std::uint8_t>& edge_alive) {
+  return sv_components(g, [&](eid_t e) {
+    return edge_alive[static_cast<std::size_t>(e)] != 0;
+  });
+}
+
+}  // namespace snap

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// A partition of the vertex set into connected components.
+struct Components {
+  std::vector<vid_t> label;  ///< dense component id per vertex, 0..count-1
+  vid_t count = 0;
+
+  /// Sizes of each component.
+  [[nodiscard]] std::vector<vid_t> sizes() const;
+  /// Id of the largest component.
+  [[nodiscard]] vid_t giant() const;
+};
+
+/// Parallel connected components via Shiloach–Vishkin-style hook-and-shortcut
+/// label propagation over the logical edge array.  Edge direction is ignored
+/// (weak connectivity for directed graphs).
+Components connected_components(const CSRGraph& g);
+
+/// Connected components of the subgraph of edges with
+/// `edge_alive[edge_id] != 0` — the incremental step of the divisive
+/// community algorithms (GN / pBD) after an edge removal.
+Components connected_components_masked(const CSRGraph& g,
+                                       const std::vector<std::uint8_t>& edge_alive);
+
+}  // namespace snap

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/ds/union_find.hpp"
+#include "snap/graph/dynamic_graph.hpp"
+#include "snap/graph/types.hpp"
+
+namespace snap {
+
+/// Connectivity over a stream of edge insertions and deletions — a first
+/// piece of the dynamic-network analysis the paper lists as future work
+/// (§6: "We intend to extend SNAP to support the topological analysis of
+/// dynamic networks").
+///
+/// Insertions are answered incrementally with union–find (amortized
+/// near-O(1)).  Deletions may split a component, which union–find cannot
+/// undo, so the tracker goes *stale* and lazily rebuilds from the backing
+/// dynamic graph on the next query — the classic batch-invalidation
+/// trade-off: cheap streams of mostly-insert workloads, with deletion cost
+/// deferred and amortized over whole batches.
+class IncrementalComponents {
+ public:
+  explicit IncrementalComponents(const DynamicGraph& graph);
+
+  /// Notify that edge (u, v) was inserted into the backing graph.
+  void on_insert(vid_t u, vid_t v);
+
+  /// Notify that edge (u, v) was deleted from the backing graph.
+  void on_delete(vid_t u, vid_t v);
+
+  /// True if u and v are connected (rebuilds first when stale).
+  bool connected(vid_t u, vid_t v);
+
+  /// Number of connected components (rebuilds first when stale).
+  vid_t num_components();
+
+  /// True if the next query will trigger a rebuild.
+  [[nodiscard]] bool stale() const { return stale_; }
+
+  /// Number of full rebuilds performed so far (for instrumentation).
+  [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void rebuild();
+
+  const DynamicGraph& graph_;
+  UnionFind uf_;
+  bool stale_ = false;
+  std::int64_t rebuilds_ = 0;
+};
+
+}  // namespace snap

@@ -1,0 +1,75 @@
+#include "snap/kernels/kcore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snap {
+
+std::vector<vid_t> KCoreResult::shell_at_least(eid_t k) const {
+  std::vector<vid_t> out;
+  for (std::size_t v = 0; v < core.size(); ++v)
+    if (core[v] >= k) out.push_back(static_cast<vid_t>(v));
+  return out;
+}
+
+KCoreResult kcore_decomposition(const CSRGraph& g) {
+  if (g.directed())
+    throw std::invalid_argument(
+        "kcore_decomposition requires an undirected graph");
+  const vid_t n = g.num_vertices();
+  KCoreResult r;
+  r.core.assign(static_cast<std::size_t>(n), 0);
+  if (n == 0) return r;
+
+  // Bucket sort vertices by degree, then peel in nondecreasing order,
+  // decrementing neighbors' effective degrees in place.
+  const eid_t dmax = g.max_degree();
+  std::vector<eid_t> deg(static_cast<std::size_t>(n));
+  std::vector<vid_t> bucket_start(static_cast<std::size_t>(dmax) + 2, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    ++bucket_start[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)]) + 1];
+  }
+  for (std::size_t d = 1; d < bucket_start.size(); ++d)
+    bucket_start[d] += bucket_start[d - 1];
+
+  std::vector<vid_t> order(static_cast<std::size_t>(n));   // sorted by degree
+  std::vector<vid_t> pos(static_cast<std::size_t>(n));     // v -> index in order
+  {
+    std::vector<vid_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (vid_t v = 0; v < n; ++v) {
+      const auto d = static_cast<std::size_t>(deg[static_cast<std::size_t>(v)]);
+      pos[static_cast<std::size_t>(v)] = cursor[d];
+      order[static_cast<std::size_t>(cursor[d])] = v;
+      ++cursor[d];
+    }
+  }
+
+  for (vid_t i = 0; i < n; ++i) {
+    const vid_t v = order[static_cast<std::size_t>(i)];
+    r.core[static_cast<std::size_t>(v)] = deg[static_cast<std::size_t>(v)];
+    r.degeneracy =
+        std::max(r.degeneracy, deg[static_cast<std::size_t>(v)]);
+    for (vid_t u : g.neighbors(v)) {
+      if (deg[static_cast<std::size_t>(u)] <=
+          deg[static_cast<std::size_t>(v)])
+        continue;  // u already peeled or tied: unaffected
+      // Move u one bucket down: swap it with the first vertex of its bucket.
+      const eid_t du = deg[static_cast<std::size_t>(u)];
+      const vid_t pu = pos[static_cast<std::size_t>(u)];
+      const vid_t pw = bucket_start[static_cast<std::size_t>(du)];
+      const vid_t w = order[static_cast<std::size_t>(pw)];
+      if (u != w) {
+        std::swap(order[static_cast<std::size_t>(pu)],
+                  order[static_cast<std::size_t>(pw)]);
+        pos[static_cast<std::size_t>(u)] = pw;
+        pos[static_cast<std::size_t>(w)] = pu;
+      }
+      ++bucket_start[static_cast<std::size_t>(du)];
+      --deg[static_cast<std::size_t>(u)];
+    }
+  }
+  return r;
+}
+
+}  // namespace snap

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// k-core decomposition of an undirected graph: `core[v]` is the largest k
+/// such that v belongs to a subgraph where every vertex has degree >= k.
+///
+/// One of the "new small-world network analysis kernels" §6 describes as
+/// ongoing work: cores expose the dense nucleus of a skewed-degree network
+/// and are a linear-time preprocessing filter for the centrality and
+/// community kernels (peeling the 1-core shell alone removes the pendant
+/// trees that dominate web crawls).
+struct KCoreResult {
+  std::vector<eid_t> core;  ///< core number per vertex
+  eid_t degeneracy = 0;     ///< max core number (graph degeneracy)
+
+  /// Vertices with core number >= k.
+  [[nodiscard]] std::vector<vid_t> shell_at_least(eid_t k) const;
+};
+
+/// Bucket-based peeling (Batagelj–Zaveršnik), O(m + n).
+KCoreResult kcore_decomposition(const CSRGraph& g);
+
+}  // namespace snap

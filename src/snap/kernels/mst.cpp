@@ -1,0 +1,105 @@
+#include "snap/kernels/mst.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "snap/ds/union_find.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+MSTResult boruvka_mst(const CSRGraph& g) {
+  if (g.directed())
+    throw std::invalid_argument("boruvka_mst requires an undirected graph");
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+  const auto& edges = g.edges();
+
+  // Rank edges by (weight, id): the component minimum then becomes an
+  // integer atomic-min, which parallelizes cleanly and is deterministic.
+  std::vector<eid_t> order(static_cast<std::size_t>(m));
+  std::iota(order.begin(), order.end(), eid_t{0});
+  std::sort(order.begin(), order.end(), [&](eid_t a, eid_t b) {
+    const weight_t wa = edges[static_cast<std::size_t>(a)].w;
+    const weight_t wb = edges[static_cast<std::size_t>(b)].w;
+    return wa != wb ? wa < wb : a < b;
+  });
+  std::vector<eid_t> rank(static_cast<std::size_t>(m));
+  for (eid_t i = 0; i < m; ++i)
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+
+  UnionFind uf(static_cast<std::size_t>(n));
+  MSTResult r;
+  constexpr eid_t kNoEdge = std::numeric_limits<eid_t>::max();
+  std::vector<std::atomic<eid_t>> best(static_cast<std::size_t>(n));
+
+  while (true) {
+    parallel::parallel_for(n, [&](vid_t v) {
+      best[static_cast<std::size_t>(v)].store(kNoEdge,
+                                              std::memory_order_relaxed);
+    });
+    // Find each component's lightest outgoing edge (by rank).
+    std::atomic<bool> any{false};
+#pragma omp parallel for schedule(static)
+    for (eid_t e = 0; e < m; ++e) {
+      const Edge& ed = edges[static_cast<std::size_t>(e)];
+      const vid_t cu = uf.find_no_compress(ed.u);
+      const vid_t cv = uf.find_no_compress(ed.v);
+      if (cu == cv) continue;
+      const eid_t rk = rank[static_cast<std::size_t>(e)];
+      parallel::atomic_fetch_min(best[static_cast<std::size_t>(cu)], rk);
+      parallel::atomic_fetch_min(best[static_cast<std::size_t>(cv)], rk);
+      any.store(true, std::memory_order_relaxed);
+    }
+    if (!any.load()) break;
+    // Contract: serially unite along the selected edges (cheap: <= #components).
+    for (vid_t v = 0; v < n; ++v) {
+      const eid_t rk = best[static_cast<std::size_t>(v)].load(
+          std::memory_order_relaxed);
+      if (rk == kNoEdge) continue;
+      const eid_t e = order[static_cast<std::size_t>(rk)];
+      const Edge& ed = edges[static_cast<std::size_t>(e)];
+      if (uf.unite(ed.u, ed.v)) {
+        r.tree_edges.push_back(e);
+        r.total_weight += ed.w;
+      }
+    }
+  }
+  r.num_trees = static_cast<vid_t>(uf.num_sets());
+  return r;
+}
+
+MSTResult bfs_spanning_forest(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  MSTResult r;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+  for (vid_t root = 0; root < n; ++root) {
+    if (seen[static_cast<std::size_t>(root)]) continue;
+    ++r.num_trees;
+    const BFSResult b = bfs(g, root);
+    for (vid_t v = 0; v < n; ++v) {
+      if (b.dist[static_cast<std::size_t>(v)] < 0) continue;
+      seen[static_cast<std::size_t>(v)] = 1;
+      if (v == root) continue;
+      const vid_t p = b.parent[static_cast<std::size_t>(v)];
+      // Recover the logical edge id of (p, v).
+      const auto nb = g.neighbors(p);
+      const auto ids = g.edge_ids(p);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (nb[i] == v) {
+          r.tree_edges.push_back(ids[i]);
+          r.total_weight += g.weights(p)[i];
+          break;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace snap

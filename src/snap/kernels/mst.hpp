@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Minimum spanning forest result.
+struct MSTResult {
+  std::vector<eid_t> tree_edges;  ///< logical edge ids in the forest
+  weight_t total_weight = 0;
+  vid_t num_trees = 0;  ///< one per connected component
+};
+
+/// Parallel Borůvka minimum spanning forest.  Each round finds every
+/// component's lightest incident edge in parallel (ties broken by edge id for
+/// determinism), then contracts.  O(m log n) work, log n rounds — the
+/// lazy-synchronization MST scheme of §3 recast over the CSR edge array.
+MSTResult boruvka_mst(const CSRGraph& g);
+
+/// Unweighted spanning forest from parallel BFS (one tree per component).
+MSTResult bfs_spanning_forest(const CSRGraph& g);
+
+}  // namespace snap

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Result of a single-source shortest path computation.
+struct SSSPResult {
+  std::vector<weight_t> dist;  ///< +inf (infinity()) if unreached
+  std::vector<vid_t> parent;   ///< kInvalidVid if unreached
+};
+
+/// Delta-stepping parallel SSSP [Meyer & Sanders], the shortest-path scheme
+/// the SNAP paper integrates from Madduri et al. (ALENEX'07).  Buckets of
+/// width `delta` are processed in order; light edges (w < delta) are relaxed
+/// iteratively within a bucket, heavy edges once on bucket settlement.
+/// `delta = 0` picks max-weight / average-degree automatically.
+SSSPResult delta_stepping(const CSRGraph& g, vid_t source, weight_t delta = 0);
+
+/// Reference serial Dijkstra (binary heap), for validation.
+SSSPResult dijkstra(const CSRGraph& g, vid_t source);
+
+}  // namespace snap

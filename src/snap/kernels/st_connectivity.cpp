@@ -1,0 +1,65 @@
+#include "snap/kernels/st_connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace snap {
+
+StConnectivity st_connectivity(const CSRGraph& g, vid_t s, vid_t t) {
+  if (g.directed())
+    throw std::invalid_argument(
+        "st_connectivity requires an undirected graph");
+  StConnectivity r;
+  if (s == t) {
+    r.connected = true;
+    r.distance = 0;
+    r.vertices_touched = 1;
+    return r;
+  }
+  const vid_t n = g.num_vertices();
+  // dist > 0: distance+1 from s; dist < 0: -(distance+1) from t.
+  std::vector<std::int64_t> mark(static_cast<std::size_t>(n), 0);
+  mark[static_cast<std::size_t>(s)] = 1;
+  mark[static_cast<std::size_t>(t)] = -1;
+  std::vector<vid_t> fs{s}, ft{t}, next;
+  std::int64_t ds = 0, dt = 0;  // depths expanded so far on each side
+  r.vertices_touched = 2;
+
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  while (!fs.empty() && !ft.empty()) {
+    // Any yet-undiscovered s-t path must exit both search balls, so its
+    // length is at least ds + dt: once that bound reaches the best meeting
+    // found, the best is optimal.
+    if (best <= ds + dt) break;
+    // Expand the smaller frontier (classic bidirectional balance rule).
+    const bool from_s = fs.size() <= ft.size();
+    auto& frontier = from_s ? fs : ft;
+    const std::int64_t depth = (from_s ? ++ds : ++dt);
+    next.clear();
+    for (vid_t u : frontier) {
+      for (vid_t v : g.neighbors(u)) {
+        auto& mv = mark[static_cast<std::size_t>(v)];
+        if (mv == 0) {
+          mv = from_s ? depth + 1 : -(depth + 1);
+          next.push_back(v);
+          ++r.vertices_touched;
+        } else if ((mv > 0) != from_s) {
+          // The two balls met at v: total = depth on this side + recorded
+          // depth on the other.  Keep the best; every meet is a real path,
+          // so best only ever overestimates until the bound above closes.
+          best = std::min(best, depth + (mv > 0 ? mv - 1 : -mv - 1));
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  if (best < std::numeric_limits<std::int64_t>::max()) {
+    r.connected = true;
+    r.distance = best;
+  }
+  return r;  // otherwise one side exhausted: different components
+}
+
+}  // namespace snap

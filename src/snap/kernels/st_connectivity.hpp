@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Result of an s–t connectivity query.
+struct StConnectivity {
+  bool connected = false;
+  std::int64_t distance = -1;     ///< hop distance if connected
+  std::int64_t vertices_touched = 0;  ///< work done (both search balls)
+};
+
+/// Bidirectional BFS s–t connectivity — the st-connectivity kernel SNAP
+/// integrates from Bader & Madduri (ICPP'06).  Grows the smaller frontier
+/// of two alternating searches; on a small-world graph the two balls meet
+/// after exploring O(√ of what a full BFS would), which is the entire point
+/// of the kernel.  Undirected graphs only (directed needs a reverse graph).
+StConnectivity st_connectivity(const CSRGraph& g, vid_t s, vid_t t);
+
+}  // namespace snap

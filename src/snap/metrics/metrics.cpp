@@ -1,0 +1,207 @@
+#include "snap/metrics/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "snap/kernels/connected_components.hpp"
+#include "snap/metrics/path_length.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+double average_degree(const CSRGraph& g) {
+  return g.num_vertices() == 0
+             ? 0.0
+             : static_cast<double>(g.num_arcs()) /
+                   static_cast<double>(g.num_vertices());
+}
+
+std::vector<eid_t> degree_histogram(const CSRGraph& g) {
+  std::vector<eid_t> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ++hist[static_cast<std::size_t>(g.degree(v))];
+  return hist;
+}
+
+namespace {
+
+/// Triangles incident to v, counting each once per incident pair (u, w) —
+/// i.e. the numerator of v's local clustering coefficient.  Uses sorted-
+/// adjacency merge intersection.
+eid_t wedge_closures(const CSRGraph& g, vid_t v) {
+  const auto nv = g.neighbors(v);
+  eid_t closed = 0;
+  for (vid_t u : nv) {
+    // |N(v) ∩ N(u)| counts w adjacent to both; each closed wedge (u, w)
+    // appears twice over the u loop, so the caller divides by 2.
+    const auto nu = g.neighbors(u);
+    std::size_t i = 0, j = 0;
+    while (i < nv.size() && j < nu.size()) {
+      if (nv[i] < nu[j]) {
+        ++i;
+      } else if (nv[i] > nu[j]) {
+        ++j;
+      } else {
+        if (nv[i] != v && nv[i] != u) ++closed;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return closed / 2;
+}
+
+}  // namespace
+
+std::vector<double> local_clustering_coefficients(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> cc(static_cast<std::size_t>(n), 0.0);
+  parallel::parallel_for_dynamic(n, [&](vid_t v) {
+    const eid_t d = g.degree(v);
+    if (d < 2) return;
+    const eid_t closed = wedge_closures(g, v);
+    cc[static_cast<std::size_t>(v)] =
+        2.0 * static_cast<double>(closed) /
+        (static_cast<double>(d) * static_cast<double>(d - 1));
+  });
+  return cc;
+}
+
+double average_clustering_coefficient(const CSRGraph& g) {
+  const auto cc = local_clustering_coefficients(g);
+  if (cc.empty()) return 0;
+  double sum = 0;
+  for (double c : cc) sum += c;
+  return sum / static_cast<double>(cc.size());
+}
+
+double global_clustering_coefficient(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::atomic<eid_t> closed{0}, wedges{0};
+  parallel::parallel_for_dynamic(n, [&](vid_t v) {
+    const eid_t d = g.degree(v);
+    if (d < 2) return;
+    closed.fetch_add(wedge_closures(g, v), std::memory_order_relaxed);
+    wedges.fetch_add(d * (d - 1) / 2, std::memory_order_relaxed);
+  });
+  const auto w = wedges.load();
+  return w == 0 ? 0.0
+                : static_cast<double>(closed.load()) / static_cast<double>(w);
+}
+
+std::vector<double> rich_club_coefficients(const CSRGraph& g) {
+  const eid_t dmax = g.max_degree();
+  std::vector<double> phi(static_cast<std::size_t>(dmax) + 1, 0.0);
+  // Count, for each k: N_k = |{v : deg(v) > k}| and E_k = edges inside.
+  // Sweep k descending, adding vertices as their degree threshold passes —
+  // but a simple per-k recount is O(dmax * m); instead bucket by degree.
+  std::vector<vid_t> nk(static_cast<std::size_t>(dmax) + 2, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ++nk[static_cast<std::size_t>(g.degree(v))];
+  // nk[k] currently = #vertices with degree exactly k; make it #degree > k.
+  std::vector<vid_t> above(static_cast<std::size_t>(dmax) + 1, 0);
+  vid_t run = 0;
+  for (eid_t k = dmax; k >= 0; --k) {
+    above[static_cast<std::size_t>(k)] = run;  // degree > k
+    run += nk[static_cast<std::size_t>(k)];
+    if (k == 0) break;
+  }
+  // ek[k] = #edges whose both endpoints have degree > k
+  //       = #edges with min(deg(u), deg(v)) > k.
+  std::vector<eid_t> edge_min_deg_count(static_cast<std::size_t>(dmax) + 1, 0);
+  for (const Edge& e : g.edges()) {
+    const eid_t md = std::min(g.degree(e.u), g.degree(e.v));
+    ++edge_min_deg_count[static_cast<std::size_t>(md)];
+  }
+  eid_t erun = 0;
+  for (eid_t k = dmax; k >= 0; --k) {
+    // edges with min degree > k
+    const vid_t cnt = above[static_cast<std::size_t>(k)];
+    if (cnt >= 2) {
+      phi[static_cast<std::size_t>(k)] =
+          2.0 * static_cast<double>(erun) /
+          (static_cast<double>(cnt) * static_cast<double>(cnt - 1));
+    }
+    erun += edge_min_deg_count[static_cast<std::size_t>(k)];
+    if (k == 0) break;
+  }
+  return phi;
+}
+
+double assortativity_coefficient(const CSRGraph& g) {
+  // Newman's r over edges, using excess degree (degree - 1) per convention.
+  double s_jk = 0, s_j = 0, s_k = 0, s_j2 = 0, s_k2 = 0;
+  eid_t m = 0;
+  for (const Edge& e : g.edges()) {
+    const double j = static_cast<double>(g.degree(e.u)) - 1;
+    const double k = static_cast<double>(g.degree(e.v)) - 1;
+    // For undirected graphs include the edge in both orientations so the
+    // correlation is symmetric.
+    s_jk += j * k;
+    s_j += j;
+    s_k += k;
+    s_j2 += j * j;
+    s_k2 += k * k;
+    ++m;
+    if (!g.directed()) {
+      s_jk += k * j;
+      s_j += k;
+      s_k += j;
+      s_j2 += k * k;
+      s_k2 += j * j;
+      ++m;
+    }
+  }
+  if (m == 0) return 0;
+  const double im = 1.0 / static_cast<double>(m);
+  const double num = im * s_jk - (im * s_j) * (im * s_k);
+  const double den = std::sqrt((im * s_j2 - (im * s_j) * (im * s_j)) *
+                               (im * s_k2 - (im * s_k) * (im * s_k)));
+  return den == 0 ? 0 : num / den;
+}
+
+std::vector<double> average_neighbor_connectivity(const CSRGraph& g) {
+  const eid_t dmax = g.max_degree();
+  std::vector<double> sum(static_cast<std::size_t>(dmax) + 1, 0.0);
+  std::vector<eid_t> cnt(static_cast<std::size_t>(dmax) + 1, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const eid_t d = g.degree(v);
+    if (d == 0) continue;
+    double s = 0;
+    for (vid_t u : g.neighbors(v)) s += static_cast<double>(g.degree(u));
+    sum[static_cast<std::size_t>(d)] += s / static_cast<double>(d);
+    ++cnt[static_cast<std::size_t>(d)];
+  }
+  std::vector<double> knn(static_cast<std::size_t>(dmax) + 1, 0.0);
+  for (eid_t k = 0; k <= dmax; ++k) {
+    if (cnt[static_cast<std::size_t>(k)] > 0)
+      knn[static_cast<std::size_t>(k)] =
+          sum[static_cast<std::size_t>(k)] /
+          static_cast<double>(cnt[static_cast<std::size_t>(k)]);
+  }
+  return knn;
+}
+
+GraphSummary summarize(const CSRGraph& g, vid_t path_samples,
+                       std::uint64_t seed) {
+  GraphSummary s;
+  s.n = g.num_vertices();
+  s.m = g.num_edges();
+  s.directed = g.directed();
+  s.avg_degree = average_degree(g);
+  s.max_degree = g.max_degree();
+  if (!g.directed()) s.avg_clustering = average_clustering_coefficient(g);
+  s.assortativity = assortativity_coefficient(g);
+  const Components comps = connected_components(g);
+  s.num_components = comps.count;
+  const auto sizes = comps.sizes();
+  s.giant_component_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  const PathLengthStats pls = sampled_path_length(g, path_samples, seed);
+  s.approx_avg_path_length = pls.average;
+  s.approx_diameter = pls.max_eccentricity;
+  return s;
+}
+
+}  // namespace snap

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Shortest-path length statistics estimated from sampled BFS sources.
+struct PathLengthStats {
+  double average = 0;                ///< mean hop distance over sampled pairs
+  std::int64_t max_eccentricity = 0; ///< max BFS depth observed (diameter lower bound)
+  std::int64_t pairs_sampled = 0;
+};
+
+/// Average shortest path length (§3's topological metric), estimated by
+/// running BFS from `num_sources` random sources and averaging the hop
+/// distances of all reached pairs.  `num_sources >= n` degrades to the exact
+/// all-pairs average for connected graphs.
+PathLengthStats sampled_path_length(const CSRGraph& g, vid_t num_sources,
+                                    std::uint64_t seed = 1);
+
+/// Exact average shortest path length + diameter (runs n BFS traversals —
+/// only for small graphs).
+PathLengthStats exact_path_length(const CSRGraph& g);
+
+/// Diameter lower bound by repeated double sweeps: BFS from a random
+/// vertex, then BFS again from the farthest vertex found; the second
+/// eccentricity lower-bounds the diameter (and is exact on trees).  The
+/// cheap way to verify the "low graph diameter" small-world property (§1)
+/// on instances far too large for all-pairs.
+std::int64_t double_sweep_diameter(const CSRGraph& g, int sweeps = 4,
+                                   std::uint64_t seed = 1);
+
+}  // namespace snap

@@ -1,0 +1,78 @@
+#include "snap/metrics/robustness.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "snap/ds/union_find.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+
+double RobustnessProfile::index() const {
+  if (giant_fraction.empty()) return 0;
+  double sum = 0;
+  for (double f : giant_fraction) sum += f;
+  return sum / static_cast<double>(giant_fraction.size());
+}
+
+RobustnessProfile robustness_profile(const CSRGraph& g,
+                                     const std::vector<vid_t>& removal_order,
+                                     int steps) {
+  const vid_t n = g.num_vertices();
+  RobustnessProfile p;
+  if (n == 0 || steps <= 0) return p;
+
+  // Process removals *backwards*: start from the empty graph and re-add
+  // vertices in reverse order with union–find — the standard trick that
+  // turns deletions into O(m α(n)) insertions overall.
+  std::vector<std::uint8_t> present(static_cast<std::size_t>(n), 0);
+  UnionFind uf(static_cast<std::size_t>(n));
+  std::vector<vid_t> giant_at(static_cast<std::size_t>(n) + 1, 0);
+  vid_t giant = 0;
+
+  // giant_at[k] = giant size when the last k vertices of removal_order are
+  // present (i.e. the first n-k have been removed).
+  for (std::size_t k = 0; k < removal_order.size(); ++k) {
+    const vid_t v = removal_order[removal_order.size() - 1 - k];
+    present[static_cast<std::size_t>(v)] = 1;
+    giant = std::max<vid_t>(giant, 1);
+    for (vid_t u : g.neighbors(v)) {
+      if (!present[static_cast<std::size_t>(u)]) continue;
+      uf.unite(u, v);
+    }
+    giant = std::max<vid_t>(giant, uf.set_size(v));
+    giant_at[k + 1] = giant;
+  }
+
+  for (int s = 0; s <= steps; ++s) {
+    const auto removed = static_cast<std::size_t>(
+        static_cast<double>(n) * s / steps);
+    const std::size_t kept = static_cast<std::size_t>(n) - removed;
+    p.fraction_removed.push_back(static_cast<double>(removed) /
+                                 static_cast<double>(n));
+    p.giant_fraction.push_back(static_cast<double>(giant_at[kept]) /
+                               static_cast<double>(n));
+  }
+  return p;
+}
+
+std::vector<vid_t> attack_order_by_degree(const CSRGraph& g) {
+  std::vector<vid_t> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return order;
+}
+
+std::vector<vid_t> attack_order_random(const CSRGraph& g,
+                                       std::uint64_t seed) {
+  std::vector<vid_t> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  SplitMix64 rng(seed);
+  for (std::size_t k = order.size(); k > 1; --k)
+    std::swap(order[k - 1], order[rng.next_bounded(k)]);
+  return order;
+}
+
+}  // namespace snap

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Attack-tolerance / lethality profile (§2.1's centrality applications:
+/// "assessing lethality in biological networks"): remove vertices one batch
+/// at a time in a caller-supplied priority order and record how the giant
+/// connected component decays.  Skewed small-world networks survive random
+/// failure but collapse under targeted hub removal — this kernel measures
+/// exactly that curve.
+struct RobustnessProfile {
+  /// fraction_removed[i] — cumulative fraction of vertices removed at
+  /// step i (step 0 = intact graph).
+  std::vector<double> fraction_removed;
+  /// giant_fraction[i] — giant component size / n after that removal.
+  std::vector<double> giant_fraction;
+
+  /// Area under the giant-fraction curve (1.0 = indestructible; the common
+  /// scalar robustness index R of Schneider et al.).
+  [[nodiscard]] double index() const;
+};
+
+/// Remove vertices in the order given (highest priority first), in
+/// `steps` equal batches, recomputing the giant component after each batch.
+/// O(steps · (m + n)).
+RobustnessProfile robustness_profile(const CSRGraph& g,
+                                     const std::vector<vid_t>& removal_order,
+                                     int steps = 20);
+
+/// Convenience orders: descending degree ("targeted attack") and seeded
+/// uniform random ("random failure").
+std::vector<vid_t> attack_order_by_degree(const CSRGraph& g);
+std::vector<vid_t> attack_order_random(const CSRGraph& g,
+                                       std::uint64_t seed = 1);
+
+}  // namespace snap

@@ -1,0 +1,92 @@
+#include "snap/partition/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "snap/util/rng.hpp"
+
+namespace snap {
+
+CoarseLevel coarsen_heavy_edge(const CSRGraph& g,
+                               const std::vector<weight_t>& vertex_weight,
+                               std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), vid_t{0});
+  SplitMix64 rng(seed);
+  for (std::size_t k = visit.size(); k > 1; --k)
+    std::swap(visit[k - 1], visit[rng.next_bounded(k)]);
+
+  std::vector<vid_t> match(static_cast<std::size_t>(n), kInvalidVid);
+  for (vid_t v : visit) {
+    if (match[static_cast<std::size_t>(v)] != kInvalidVid) continue;
+    // Heaviest unmatched neighbor.
+    vid_t best = kInvalidVid;
+    weight_t best_w = -1;
+    const auto nb = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const vid_t u = nb[i];
+      if (u == v || match[static_cast<std::size_t>(u)] != kInvalidVid)
+        continue;
+      if (ws[i] > best_w) {
+        best_w = ws[i];
+        best = u;
+      }
+    }
+    if (best == kInvalidVid) {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    } else {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+
+  // Assign coarse ids (one per matched pair / singleton).
+  CoarseLevel lvl;
+  lvl.fine_to_coarse.assign(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t next = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (lvl.fine_to_coarse[static_cast<std::size_t>(v)] != kInvalidVid)
+      continue;
+    const vid_t u = match[static_cast<std::size_t>(v)];
+    lvl.fine_to_coarse[static_cast<std::size_t>(v)] = next;
+    lvl.fine_to_coarse[static_cast<std::size_t>(u)] = next;
+    ++next;
+  }
+
+  lvl.vertex_weight.assign(static_cast<std::size_t>(next), 0);
+  for (vid_t v = 0; v < n; ++v)
+    lvl.vertex_weight[static_cast<std::size_t>(
+        lvl.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        vertex_weight[static_cast<std::size_t>(v)];
+
+  // Build the coarse edge list; the CSR builder would keep the first weight
+  // of duplicates, so merge parallel edges here.
+  EdgeList coarse_edges;
+  coarse_edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) {
+    const vid_t cu = lvl.fine_to_coarse[static_cast<std::size_t>(e.u)];
+    const vid_t cv = lvl.fine_to_coarse[static_cast<std::size_t>(e.v)];
+    if (cu == cv) continue;  // interior edge collapses
+    coarse_edges.push_back({std::min(cu, cv), std::max(cu, cv), e.w});
+  }
+  std::sort(coarse_edges.begin(), coarse_edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  EdgeList merged;
+  merged.reserve(coarse_edges.size());
+  for (const Edge& e : coarse_edges) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v)
+      merged.back().w += e.w;
+    else
+      merged.push_back(e);
+  }
+  BuildOptions opts;
+  opts.dedupe = false;  // already merged
+  lvl.graph = CSRGraph::from_edges(next, merged, /*directed=*/false, opts);
+  return lvl;
+}
+
+}  // namespace snap

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// One level of the multilevel hierarchy: the coarse graph, the fine→coarse
+/// vertex map, and the coarse vertex weights (number of original vertices
+/// each coarse vertex represents).
+struct CoarseLevel {
+  CSRGraph graph;
+  std::vector<vid_t> fine_to_coarse;
+  std::vector<weight_t> vertex_weight;
+};
+
+/// Heavy-edge-matching coarsening (the Metis-family scheme §2.2 discusses):
+/// vertices are visited in random order; each unmatched vertex matches its
+/// unmatched neighbor with the heaviest connecting edge.  Matched pairs
+/// collapse; parallel edges merge with summed weights.
+CoarseLevel coarsen_heavy_edge(const CSRGraph& g,
+                               const std::vector<weight_t>& vertex_weight,
+                               std::uint64_t seed);
+
+}  // namespace snap

@@ -1,0 +1,54 @@
+#include "snap/partition/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+eid_t edge_cut(const CSRGraph& g, const std::vector<std::int32_t>& part) {
+  const auto& edges = g.edges();
+  return parallel::parallel_reduce_sum<eid_t>(
+      g.num_edges(), [&](eid_t e) -> eid_t {
+        const Edge& ed = edges[static_cast<std::size_t>(e)];
+        return part[static_cast<std::size_t>(ed.u)] !=
+                       part[static_cast<std::size_t>(ed.v)]
+                   ? static_cast<eid_t>(std::llround(ed.w))
+                   : 0;
+      });
+}
+
+double imbalance(const CSRGraph& g, const std::vector<std::int32_t>& part,
+                 std::int32_t k) {
+  if (k <= 0 || g.num_vertices() == 0) return 0;
+  std::vector<vid_t> weight(static_cast<std::size_t>(k), 0);
+  for (std::int32_t p : part) ++weight[static_cast<std::size_t>(p)];
+  const double ideal =
+      static_cast<double>(g.num_vertices()) / static_cast<double>(k);
+  const vid_t mx = *std::max_element(weight.begin(), weight.end());
+  return static_cast<double>(mx) / ideal;
+}
+
+double conductance(const CSRGraph& g, const std::vector<std::int32_t>& part,
+                   std::int32_t which) {
+  double cut = 0, vol_in = 0, vol_out = 0;
+  for (const Edge& e : g.edges()) {
+    const bool iu = part[static_cast<std::size_t>(e.u)] == which;
+    const bool iv = part[static_cast<std::size_t>(e.v)] == which;
+    if (iu != iv) cut += e.w;
+    // Edge volume: each endpoint contributes the edge weight to its side.
+    vol_in += (iu ? e.w : 0) + (iv ? e.w : 0);
+    vol_out += (!iu ? e.w : 0) + (!iv ? e.w : 0);
+  }
+  const double denom = std::min(vol_in, vol_out);
+  return denom > 0 ? cut / denom : 0.0;
+}
+
+void evaluate(const CSRGraph& g, PartitionResult& r) {
+  if (!r.success || r.part.empty()) return;
+  r.edge_cut = edge_cut(g, r.part);
+  r.imbalance = imbalance(g, r.part, r.k);
+}
+
+}  // namespace snap

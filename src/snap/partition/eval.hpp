@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/partition/partition.hpp"
+
+namespace snap {
+
+/// Total weight of edges whose endpoints lie in different parts — the
+/// objective Table 1 reports.
+eid_t edge_cut(const CSRGraph& g, const std::vector<std::int32_t>& part);
+
+/// Balance of the partition: max part vertex-count divided by ceil(n/k).
+/// 1.0 is perfectly balanced.
+double imbalance(const CSRGraph& g, const std::vector<std::int32_t>& part,
+                 std::int32_t k);
+
+/// Conductance of one part: cut(S, V∖S) / min(vol(S), vol(V∖S)) — the
+/// measure partitioning-based clustering heuristics optimize (§2.2).
+double conductance(const CSRGraph& g, const std::vector<std::int32_t>& part,
+                   std::int32_t which);
+
+/// Fill in edge_cut / imbalance of a result from its `part` array.
+void evaluate(const CSRGraph& g, PartitionResult& r);
+
+}  // namespace snap

@@ -1,0 +1,235 @@
+#include "snap/partition/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "snap/graph/subgraph.hpp"
+#include "snap/partition/coarsen.hpp"
+#include "snap/partition/eval.hpp"
+#include "snap/partition/refine_fm.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+
+namespace {
+
+weight_t bisection_cut(const CSRGraph& g, const std::vector<std::int8_t>& side) {
+  weight_t cut = 0;
+  for (const Edge& e : g.edges())
+    if (side[static_cast<std::size_t>(e.u)] !=
+        side[static_cast<std::size_t>(e.v)])
+      cut += e.w;
+  return cut;
+}
+
+/// Greedy graph-growing bisection: BFS-grow side 0 from a random seed until
+/// it holds `frac` of the vertex weight; several tries, best cut kept.
+std::vector<std::int8_t> grow_bisection(const CSRGraph& g,
+                                        const std::vector<weight_t>& vwgt,
+                                        double frac, std::uint64_t seed,
+                                        int tries = 4) {
+  const vid_t n = g.num_vertices();
+  weight_t total = 0;
+  for (weight_t w : vwgt) total += w;
+  const double want = frac * total;
+
+  std::vector<std::int8_t> best(static_cast<std::size_t>(n), 1);
+  weight_t best_cut = -1;
+  SplitMix64 rng(seed);
+
+  for (int t = 0; t < tries; ++t) {
+    std::vector<std::int8_t> side(static_cast<std::size_t>(n), 1);
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    double grown = 0;
+    std::vector<vid_t> queue;
+    std::size_t head = 0;
+    vid_t scan = 0;  // fallback for disconnected graphs
+    auto push = [&](vid_t v) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        queue.push_back(v);
+      }
+    };
+    push(static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n))));
+    while (grown < want) {
+      if (head == queue.size()) {
+        // Component exhausted: jump to the next unvisited vertex.
+        while (scan < n && seen[static_cast<std::size_t>(scan)]) ++scan;
+        if (scan >= n) break;
+        push(scan);
+      }
+      const vid_t v = queue[head++];
+      side[static_cast<std::size_t>(v)] = 0;
+      grown += vwgt[static_cast<std::size_t>(v)];
+      for (vid_t u : g.neighbors(v)) push(u);
+    }
+    const weight_t cut = bisection_cut(g, side);
+    if (best_cut < 0 || cut < best_cut) {
+      best_cut = cut;
+      best = std::move(side);
+    }
+  }
+  return best;
+}
+
+/// Multilevel bisection: coarsen recursively, bisect coarsest, refine on the
+/// way back up.
+std::vector<std::int8_t> bisect_multilevel(const CSRGraph& g,
+                                           const std::vector<weight_t>& vwgt,
+                                           const MultilevelParams& p,
+                                           double frac, vid_t coarse_target,
+                                           std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  if (n <= coarse_target) {
+    auto side = grow_bisection(g, vwgt, frac, seed);
+    fm_refine_bisection(g, vwgt, side, p.imbalance_tol, p.refine_passes, frac);
+    return side;
+  }
+  const CoarseLevel lvl = coarsen_heavy_edge(g, vwgt, seed);
+  if (lvl.graph.num_vertices() >= (n * 19) / 20) {
+    // Coarsening stalled (matching found almost nothing): bisect directly.
+    auto side = grow_bisection(g, vwgt, frac, seed);
+    fm_refine_bisection(g, vwgt, side, p.imbalance_tol, p.refine_passes, frac);
+    return side;
+  }
+  const auto cside = bisect_multilevel(lvl.graph, lvl.vertex_weight, p, frac,
+                                       coarse_target, seed + 1);
+  std::vector<std::int8_t> side(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v)
+    side[static_cast<std::size_t>(v)] = cside[static_cast<std::size_t>(
+        lvl.fine_to_coarse[static_cast<std::size_t>(v)])];
+  fm_refine_bisection(g, vwgt, side, p.imbalance_tol, p.refine_passes, frac);
+  return side;
+}
+
+/// Recursively split `g` into k parts, writing part ids (offset upward)
+/// through `assign`.
+void recursive_split(const CSRGraph& g, const std::vector<weight_t>& vwgt,
+                     std::int32_t k, std::int32_t part_offset,
+                     const MultilevelParams& p, vid_t coarse_target,
+                     std::uint64_t seed,
+                     const std::vector<vid_t>& to_parent,
+                     std::vector<std::int32_t>& part) {
+  if (k <= 1) {
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      part[static_cast<std::size_t>(to_parent[static_cast<std::size_t>(v)])] =
+          part_offset;
+    return;
+  }
+  const std::int32_t k0 = k / 2;
+  const double frac = static_cast<double>(k0) / static_cast<double>(k);
+  const auto side =
+      bisect_multilevel(g, vwgt, p, frac, coarse_target, seed);
+
+  std::vector<vid_t> half[2];
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    half[side[static_cast<std::size_t>(v)]].push_back(v);
+
+  for (int s = 0; s < 2; ++s) {
+    const std::int32_t sub_k = s == 0 ? k0 : k - k0;
+    const std::int32_t sub_off = s == 0 ? part_offset : part_offset + k0;
+    if (half[s].empty()) continue;
+    Subgraph sub = induced_subgraph(g, half[s]);
+    std::vector<weight_t> sub_w(half[s].size());
+    std::vector<vid_t> sub_to_root(half[s].size());
+    for (std::size_t i = 0; i < half[s].size(); ++i) {
+      sub_w[i] = vwgt[static_cast<std::size_t>(half[s][i])];
+      sub_to_root[i] =
+          to_parent[static_cast<std::size_t>(half[s][i])];
+    }
+    recursive_split(sub.graph, sub_w, sub_k, sub_off, p, coarse_target,
+                    seed * 2 + static_cast<std::uint64_t>(s) + 1, sub_to_root,
+                    part);
+  }
+}
+
+}  // namespace
+
+PartitionResult multilevel_recursive_bisection(const CSRGraph& g,
+                                               std::int32_t k,
+                                               const MultilevelParams& p) {
+  PartitionResult r;
+  r.k = k;
+  const vid_t n = g.num_vertices();
+  r.part.assign(static_cast<std::size_t>(n), 0);
+  if (k > 1 && n > 0) {
+    const vid_t coarse_target =
+        p.coarsen_to > 0 ? p.coarsen_to : std::max<vid_t>(64, 20 * k);
+    std::vector<weight_t> vwgt(static_cast<std::size_t>(n), 1.0);
+    std::vector<vid_t> ident(static_cast<std::size_t>(n));
+    std::iota(ident.begin(), ident.end(), vid_t{0});
+    recursive_split(g, vwgt, k, 0, p, coarse_target, p.seed, ident, r.part);
+  }
+  evaluate(g, r);
+  return r;
+}
+
+PartitionResult multilevel_kway(const CSRGraph& g, std::int32_t k,
+                                const MultilevelParams& p) {
+  PartitionResult r;
+  r.k = k;
+  const vid_t n = g.num_vertices();
+  r.part.assign(static_cast<std::size_t>(n), 0);
+  if (k <= 1 || n == 0) {
+    evaluate(g, r);
+    return r;
+  }
+  const vid_t coarse_target =
+      p.coarsen_to > 0 ? p.coarsen_to : std::max<vid_t>(64, 20 * k);
+
+  // Coarsening hierarchy on the whole graph.
+  std::vector<CoarseLevel> levels;
+  const CSRGraph* cur = &g;
+  std::vector<weight_t> cur_w(static_cast<std::size_t>(n), 1.0);
+  std::uint64_t seed = p.seed;
+  while (cur->num_vertices() > coarse_target) {
+    CoarseLevel lvl = coarsen_heavy_edge(*cur, cur_w, seed++);
+    if (lvl.graph.num_vertices() >= (cur->num_vertices() * 19) / 20) break;
+    cur_w = lvl.vertex_weight;
+    levels.push_back(std::move(lvl));
+    cur = &levels.back().graph;
+  }
+
+  // Initial k-way partition of the coarsest graph by recursive bisection,
+  // balancing the coarse vertex *weights* (a coarse vertex stands for many
+  // fine ones, very unevenly so on skewed-degree graphs).
+  MultilevelParams flat = p;
+  flat.coarsen_to = cur->num_vertices();  // no further coarsening
+  std::vector<std::int32_t> part(
+      static_cast<std::size_t>(cur->num_vertices()), 0);
+  {
+    std::vector<vid_t> ident(static_cast<std::size_t>(cur->num_vertices()));
+    std::iota(ident.begin(), ident.end(), vid_t{0});
+    recursive_split(*cur, cur_w, k, 0, flat, cur->num_vertices(), seed, ident,
+                    part);
+  }
+  greedy_kway_refine(*cur, cur_w, part, k, p.imbalance_tol, p.refine_passes);
+
+  // Uncoarsen with greedy k-way boundary refinement at each level.
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    const CSRGraph& fine =
+        li == 0 ? g : levels[li - 1].graph;
+    const std::vector<weight_t>* fine_w;
+    std::vector<weight_t> unit;
+    if (li == 0) {
+      unit.assign(static_cast<std::size_t>(g.num_vertices()), 1.0);
+      fine_w = &unit;
+    } else {
+      fine_w = &levels[li - 1].vertex_weight;
+    }
+    std::vector<std::int32_t> fine_part(
+        static_cast<std::size_t>(fine.num_vertices()));
+    for (vid_t v = 0; v < fine.num_vertices(); ++v)
+      fine_part[static_cast<std::size_t>(v)] = part[static_cast<std::size_t>(
+          levels[li].fine_to_coarse[static_cast<std::size_t>(v)])];
+    part = std::move(fine_part);
+    greedy_kway_refine(fine, *fine_w, part, k, p.imbalance_tol,
+                       p.refine_passes);
+  }
+
+  r.part = std::move(part);
+  evaluate(g, r);
+  return r;
+}
+
+}  // namespace snap

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/partition/partition.hpp"
+
+namespace snap {
+
+/// Parameters of the multilevel partitioners (the Metis-family algorithms
+/// Table 1 exercises via pmetis/kmetis).
+struct MultilevelParams {
+  /// Stop coarsening when the graph is at most this many vertices
+  /// (0 = max(64, 20 * k)).
+  vid_t coarsen_to = 0;
+  /// FM passes per uncoarsening level.
+  int refine_passes = 6;
+  /// Allowed imbalance (max part weight / ideal part weight).
+  double imbalance_tol = 1.05;
+  std::uint64_t seed = 1;
+};
+
+/// Multilevel recursive bisection ("pmetis-like"): coarsen by heavy-edge
+/// matching, bisect the coarsest graph by greedy graph growing, refine with
+/// FM while uncoarsening; recurse on each half for k parts.
+PartitionResult multilevel_recursive_bisection(const CSRGraph& g,
+                                               std::int32_t k,
+                                               const MultilevelParams& p = {});
+
+/// Multilevel k-way ("kmetis-like"): recursive bisection on the coarsest
+/// graph for the initial k-way partition, then greedy k-way boundary
+/// refinement at every uncoarsening level.
+PartitionResult multilevel_kway(const CSRGraph& g, std::int32_t k,
+                                const MultilevelParams& p = {});
+
+}  // namespace snap

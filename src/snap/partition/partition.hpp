@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// A k-way partition of the vertex set.
+struct PartitionResult {
+  std::vector<std::int32_t> part;  ///< part id per vertex, 0..k-1
+  std::int32_t k = 0;
+  eid_t edge_cut = 0;       ///< total weight of edges crossing parts
+  double imbalance = 0;     ///< max part weight / ideal part weight
+  bool success = true;      ///< false if the method failed to converge
+  std::string note;         ///< failure reason / diagnostics
+};
+
+}  // namespace snap

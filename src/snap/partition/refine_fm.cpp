@@ -1,0 +1,178 @@
+#include "snap/partition/refine_fm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace snap {
+
+namespace {
+
+/// Cut weight of a bisection.
+weight_t bisection_cut(const CSRGraph& g, const std::vector<std::int8_t>& side) {
+  weight_t cut = 0;
+  for (const Edge& e : g.edges())
+    if (side[static_cast<std::size_t>(e.u)] !=
+        side[static_cast<std::size_t>(e.v)])
+      cut += e.w;
+  return cut;
+}
+
+/// Gain of moving v to the other side: external − internal incident weight.
+weight_t move_gain(const CSRGraph& g, const std::vector<std::int8_t>& side,
+                   vid_t v) {
+  weight_t internal = 0, external = 0;
+  const auto nb = g.neighbors(v);
+  const auto ws = g.weights(v);
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    if (nb[i] == v) continue;
+    if (side[static_cast<std::size_t>(nb[i])] ==
+        side[static_cast<std::size_t>(v)])
+      internal += ws[i];
+    else
+      external += ws[i];
+  }
+  return external - internal;
+}
+
+}  // namespace
+
+weight_t fm_refine_bisection(const CSRGraph& g,
+                             const std::vector<weight_t>& vertex_weight,
+                             std::vector<std::int8_t>& side, double tol,
+                             int max_passes, double target_frac) {
+  const vid_t n = g.num_vertices();
+  weight_t total_vw = 0;
+  for (weight_t w : vertex_weight) total_vw += w;
+  const double max_side_arr[2] = {tol * total_vw * target_frac,
+                                  tol * total_vw * (1.0 - target_frac)};
+
+  weight_t cut = bisection_cut(g, side);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    weight_t side_w[2] = {0, 0};
+    for (vid_t v = 0; v < n; ++v)
+      side_w[side[static_cast<std::size_t>(v)]] +=
+          vertex_weight[static_cast<std::size_t>(v)];
+
+    // Lazy max-heap of (gain, v); entries go stale when a neighbor moves.
+    struct Item {
+      weight_t gain;
+      vid_t v;
+      bool operator<(const Item& o) const { return gain < o.gain; }
+    };
+    std::priority_queue<Item> pq;
+    std::vector<weight_t> cur_gain(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> locked(static_cast<std::size_t>(n), 0);
+    for (vid_t v = 0; v < n; ++v) {
+      cur_gain[static_cast<std::size_t>(v)] = move_gain(g, side, v);
+      pq.push({cur_gain[static_cast<std::size_t>(v)], v});
+    }
+
+    // Tentative move sequence with rollback to the best prefix.
+    std::vector<vid_t> moved;
+    weight_t best_cut = cut, run_cut = cut;
+    std::size_t best_prefix = 0;
+
+    while (!pq.empty()) {
+      const auto [gain, v] = pq.top();
+      pq.pop();
+      if (locked[static_cast<std::size_t>(v)]) continue;
+      if (gain != cur_gain[static_cast<std::size_t>(v)]) continue;  // stale
+      const std::int8_t from = side[static_cast<std::size_t>(v)];
+      const std::int8_t to = static_cast<std::int8_t>(1 - from);
+      if (side_w[to] + vertex_weight[static_cast<std::size_t>(v)] >
+          max_side_arr[to])
+        continue;  // balance would break
+
+      // Commit tentatively.
+      side[static_cast<std::size_t>(v)] = to;
+      side_w[from] -= vertex_weight[static_cast<std::size_t>(v)];
+      side_w[to] += vertex_weight[static_cast<std::size_t>(v)];
+      locked[static_cast<std::size_t>(v)] = 1;
+      run_cut -= gain;
+      moved.push_back(v);
+      if (run_cut < best_cut) {
+        best_cut = run_cut;
+        best_prefix = moved.size();
+      }
+      // Refresh neighbor gains.
+      for (vid_t u : g.neighbors(v)) {
+        if (locked[static_cast<std::size_t>(u)] || u == v) continue;
+        cur_gain[static_cast<std::size_t>(u)] = move_gain(g, side, u);
+        pq.push({cur_gain[static_cast<std::size_t>(u)], u});
+      }
+    }
+
+    // Roll back the tail beyond the best prefix.
+    for (std::size_t i = moved.size(); i-- > best_prefix;) {
+      const vid_t v = moved[i];
+      side[static_cast<std::size_t>(v)] =
+          static_cast<std::int8_t>(1 - side[static_cast<std::size_t>(v)]);
+    }
+    if (best_cut >= cut) {
+      cut = best_cut;
+      break;  // no improvement this pass
+    }
+    cut = best_cut;
+  }
+  return cut;
+}
+
+void greedy_kway_refine(const CSRGraph& g,
+                        const std::vector<weight_t>& vertex_weight,
+                        std::vector<std::int32_t>& part, std::int32_t k,
+                        double tol, int max_passes) {
+  const vid_t n = g.num_vertices();
+  weight_t total_vw = 0;
+  for (weight_t w : vertex_weight) total_vw += w;
+  const double max_part = tol * total_vw / static_cast<double>(k);
+
+  std::vector<weight_t> part_w(static_cast<std::size_t>(k), 0);
+  for (vid_t v = 0; v < n; ++v)
+    part_w[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        vertex_weight[static_cast<std::size_t>(v)];
+
+  std::vector<weight_t> conn(static_cast<std::size_t>(k), 0);
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool any = false;
+    for (vid_t v = 0; v < n; ++v) {
+      const auto pv =
+          static_cast<std::size_t>(part[static_cast<std::size_t>(v)]);
+      // Connectivity of v to each adjacent part.
+      const auto nb = g.neighbors(v);
+      const auto ws = g.weights(v);
+      std::vector<std::int32_t> touched;
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (nb[i] == v) continue;
+        const std::int32_t p = part[static_cast<std::size_t>(nb[i])];
+        if (conn[static_cast<std::size_t>(p)] == 0) touched.push_back(p);
+        conn[static_cast<std::size_t>(p)] += ws[i];
+      }
+      // Best destination.
+      std::int32_t best_p = -1;
+      weight_t best_gain = 0;
+      for (std::int32_t p : touched) {
+        if (static_cast<std::size_t>(p) == pv) continue;
+        const weight_t gain = conn[static_cast<std::size_t>(p)] - conn[pv];
+        if (gain > best_gain &&
+            part_w[static_cast<std::size_t>(p)] +
+                    vertex_weight[static_cast<std::size_t>(v)] <=
+                max_part) {
+          best_gain = gain;
+          best_p = p;
+        }
+      }
+      for (std::int32_t p : touched) conn[static_cast<std::size_t>(p)] = 0;
+      if (best_p >= 0) {
+        part_w[pv] -= vertex_weight[static_cast<std::size_t>(v)];
+        part_w[static_cast<std::size_t>(best_p)] +=
+            vertex_weight[static_cast<std::size_t>(v)];
+        part[static_cast<std::size_t>(v)] = best_p;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+}
+
+}  // namespace snap

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+
+namespace snap {
+
+/// Fiduccia–Mattheyses boundary refinement of a bisection (`side[v]` in
+/// {0,1}).  Runs up to `max_passes` passes; within a pass, vertices are
+/// moved one at a time by best gain subject to the balance tolerance, with
+/// hill-climbing (negative-gain moves allowed) and rollback to the best
+/// prefix.  Returns the final cut weight.
+///
+/// `vertex_weight` carries coarse multiplicities; `tol` bounds
+/// max-side-weight / ideal (e.g. 1.05).
+/// `target_frac` is side 0's share of the total vertex weight (0.5 for an
+/// even bisection; recursive bisection of odd k uses uneven splits).
+weight_t fm_refine_bisection(const CSRGraph& g,
+                             const std::vector<weight_t>& vertex_weight,
+                             std::vector<std::int8_t>& side, double tol,
+                             int max_passes, double target_frac = 0.5);
+
+/// Greedy k-way boundary refinement: passes over boundary vertices moving
+/// each to the adjacent part with the largest positive gain, subject to
+/// balance.  Cheaper than k-way FM; used by the direct k-way driver.
+void greedy_kway_refine(const CSRGraph& g,
+                        const std::vector<weight_t>& vertex_weight,
+                        std::vector<std::int32_t>& part, std::int32_t k,
+                        double tol, int max_passes);
+
+}  // namespace snap

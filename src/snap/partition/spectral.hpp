@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/partition/partition.hpp"
+
+namespace snap {
+
+/// Parameters for the spectral partitioner (the Chaco-family heuristics of
+/// Table 1: Chaco-LAN ≈ Lanczos, Chaco-RQI ≈ Rayleigh quotient iteration).
+struct SpectralParams {
+  int lanczos_max_iters = 200;  ///< Krylov basis cap (memory is O(n·iters))
+  double tol = 1e-5;            ///< eigen-residual convergence threshold
+  /// Residual accepted when the iteration budget runs out.  Physical meshes
+  /// have tiny Fiedler gaps, so exact convergence can take thousands of
+  /// iterations — but a rough Fiedler vector already yields a good median
+  /// split (Chaco behaves the same way).  Set to 0 to demand full
+  /// convergence.
+  double loose_tol = 5e-2;
+  int rqi_max_iters = 25;
+  int cg_max_iters = 80;
+  std::uint64_t seed = 1;
+};
+
+enum class SpectralMethod { kLanczos, kRQI };
+
+/// Compute (an approximation of) the Fiedler vector — the eigenvector of the
+/// graph Laplacian L = D − A for the second-smallest eigenvalue — deflating
+/// the trivial constant eigenvector.  Returns false if the iteration did not
+/// converge within its budget; Table 1 shows exactly this failure mode for
+/// Chaco on small-world instances, and Mihail & Papadimitriou explain why:
+/// on skewed-degree graphs the extreme eigenvectors localize on high-degree
+/// vertices and the spectral method loses the structural signal (§2.2).
+bool fiedler_vector(const CSRGraph& g, SpectralMethod method,
+                    const SpectralParams& p, std::vector<double>& out);
+
+/// Recursive spectral bisection into k parts: split at the median of the
+/// Fiedler vector, recurse on the halves.  `success=false` (with a note) if
+/// any level's eigensolve fails — the "–" entries of Table 1.
+PartitionResult spectral_partition(const CSRGraph& g, std::int32_t k,
+                                   SpectralMethod method,
+                                   const SpectralParams& p = {});
+
+}  // namespace snap

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snap {
+
+/// Fixed-size bitmap with atomic test-and-set, used for lock-free visited
+/// tracking in the level-synchronous BFS and related traversal kernels.
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+    clear();
+  }
+
+  /// Reset all bits to zero (not thread-safe vs. concurrent set()).
+  void clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1u;
+  }
+
+  /// Atomically set bit i; returns true iff this call flipped it 0 -> 1.
+  bool test_and_set(std::size_t i) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (old & mask) == 0;
+  }
+
+  void set(std::size_t i) {
+    words_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace snap

@@ -1,0 +1,22 @@
+#include "snap/util/parallel.hpp"
+
+namespace snap::parallel {
+
+namespace {
+int g_threads = 0;  // 0 = not yet initialized: use the OpenMP default
+}
+
+void set_num_threads(int t) {
+  if (t < 1) t = 1;
+  g_threads = t;
+  omp_set_num_threads(t);
+}
+
+int num_threads() {
+  if (g_threads == 0) g_threads = omp_get_max_threads();
+  return g_threads;
+}
+
+int max_threads() { return omp_get_num_procs(); }
+
+}  // namespace snap::parallel

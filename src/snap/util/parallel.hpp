@@ -1,0 +1,137 @@
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snap::parallel {
+
+/// Set the number of OpenMP threads used by subsequent SNAP kernels.
+/// Thread count is process-global; the figure benches sweep it from a single
+/// process exactly as the paper sweeps 1..32 threads on the T2000.
+void set_num_threads(int t);
+
+/// Number of threads SNAP kernels will use.
+int num_threads();
+
+/// Maximum hardware concurrency reported by the runtime.
+int max_threads();
+
+/// Parallel for over [0, n) with static scheduling.  `f(i)` must be safe to
+/// run concurrently for distinct `i`.
+template <typename Index, typename F>
+void parallel_for(Index n, F&& f) {
+#pragma omp parallel for schedule(static)
+  for (Index i = 0; i < n; ++i) f(i);
+}
+
+/// Parallel for with dynamic scheduling, for skewed per-iteration work
+/// (e.g. iterating over vertices of a power-law graph).
+template <typename Index, typename F>
+void parallel_for_dynamic(Index n, F&& f, int chunk = 64) {
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (Index i = 0; i < n; ++i) f(i);
+}
+
+/// Parallel sum-reduction of f(i) over [0, n).
+template <typename T, typename Index, typename F>
+T parallel_reduce_sum(Index n, F&& f) {
+  T total{};
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (Index i = 0; i < n; ++i) total += f(i);
+  return total;
+}
+
+/// Exclusive prefix sum of `in` into `out` (out[0] = 0, out[i] = sum in[0..i)).
+/// `out` must have size n + 1; out[n] receives the grand total.
+/// Runs a two-pass blocked scan in parallel.
+template <typename T>
+void exclusive_prefix_sum(const T* in, T* out, std::size_t n) {
+  const int nt = std::max(1, num_threads());
+  if (n < 4096 || nt == 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = acc;
+      acc += in[i];
+    }
+    out[n] = acc;
+    return;
+  }
+  std::vector<T> block_sum(static_cast<std::size_t>(nt) + 1, T{});
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const std::size_t chunk = (n + nt - 1) / nt;
+    const std::size_t lo = std::min(n, chunk * static_cast<std::size_t>(t));
+    const std::size_t hi = std::min(n, lo + chunk);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+    block_sum[static_cast<std::size_t>(t) + 1] = acc;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int b = 0; b < nt; ++b) block_sum[b + 1] += block_sum[b];
+      out[n] = block_sum[nt];
+    }
+    T run = block_sum[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = run;
+      run += in[i];
+    }
+  }
+}
+
+template <typename T>
+void exclusive_prefix_sum(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size() + 1);
+  exclusive_prefix_sum(in.data(), out.data(), in.size());
+}
+
+/// Atomically set `target = max(target, value)`; returns true if updated.
+template <typename T>
+bool atomic_fetch_max(std::atomic<T>& target, T value) {
+  T cur = target.load(std::memory_order_relaxed);
+  while (cur < value) {
+    if (target.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// Atomically set `target = min(target, value)`; returns true if updated.
+template <typename T>
+bool atomic_fetch_min(std::atomic<T>& target, T value) {
+  T cur = target.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (target.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// Atomic add for doubles (compare-exchange loop; OpenMP atomics are scoped to
+/// pragmas, this gives us a composable primitive).
+inline void atomic_add(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// RAII guard that overrides the SNAP thread count for a scope.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int t) : saved_(num_threads()) { set_num_threads(t); }
+  ~ThreadScope() { set_num_threads(saved_); }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace snap::parallel

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace snap {
+
+/// SplitMix64 — tiny, fast, statistically solid PRNG used for seeding and for
+/// per-thread deterministic streams.  Every randomized algorithm in SNAP takes
+/// an explicit seed so experiments are reproducible.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the modulo bias is negligible for the graph sizes involved.
+  std::uint64_t next_bounded(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent stream (for per-thread RNGs).
+  [[nodiscard]] SplitMix64 fork(std::uint64_t stream) const {
+    SplitMix64 r(state_ ^ (0x2545f4914f6cdd1dULL * (stream + 1)));
+    r();  // decorrelate
+    return r;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace snap

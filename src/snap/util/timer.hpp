@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+
+namespace snap {
+
+/// Monotonic wall-clock timer for measuring kernel and algorithm runtimes.
+///
+/// The timer starts on construction; `elapsed_s()` / `elapsed_ms()` report the
+/// time since construction or the most recent `reset()`.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer from now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset.
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset.
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace snap

@@ -1,0 +1,127 @@
+// Tests for the attribute tables (§1's typed/classified vertices & edges)
+// and for weighted betweenness centrality.
+#include <gtest/gtest.h>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/graph/attributes.hpp"
+#include "snap/graph/subgraph.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+// -------------------------------------------------------------- attributes
+
+TEST(Attributes, ColumnsLifecycle) {
+  AttributeTable t(5);
+  t.add_int_column("type", -1);
+  t.add_real_column("score", 0.5);
+  t.add_text_column("label", "?");
+  EXPECT_TRUE(t.has_column("type"));
+  EXPECT_EQ(t.type_of("score"), AttributeTable::Type::kReal);
+  EXPECT_EQ(t.column_names().size(), 3u);
+  EXPECT_TRUE(t.remove_column("label"));
+  EXPECT_FALSE(t.remove_column("label"));
+  EXPECT_FALSE(t.has_column("label"));
+}
+
+TEST(Attributes, DefaultsApplied) {
+  AttributeTable t(3);
+  t.add_int_column("k", 7);
+  for (std::int64_t v : t.ints("k")) EXPECT_EQ(v, 7);
+  t.add_text_column("name", "x");
+  EXPECT_EQ(t.texts("name")[2], "x");
+}
+
+TEST(Attributes, ResizeFillsWithDefault) {
+  AttributeTable t(2);
+  t.add_real_column("w", 1.5);
+  t.reals("w")[0] = 9.0;
+  t.resize(4);
+  EXPECT_DOUBLE_EQ(t.reals("w")[0], 9.0);
+  EXPECT_DOUBLE_EQ(t.reals("w")[3], 1.5);
+  t.resize(1);
+  EXPECT_EQ(t.reals("w").size(), 1u);
+}
+
+TEST(Attributes, DuplicateNameThrows) {
+  AttributeTable t(1);
+  t.add_int_column("a");
+  EXPECT_THROW(t.add_real_column("a"), std::invalid_argument);
+}
+
+TEST(Attributes, TypeMismatchThrows) {
+  AttributeTable t(1);
+  t.add_int_column("a");
+  EXPECT_THROW(t.reals("a"), std::invalid_argument);
+  EXPECT_THROW(t.ints("nope"), std::out_of_range);
+}
+
+TEST(Attributes, SelectDrivesSubgraphExtraction) {
+  // The §1 workflow: classify vertices, select a class, induce a subgraph.
+  const auto g = gen::barbell_graph(4);
+  AttributeTable vattr(static_cast<std::size_t>(g.num_vertices()));
+  vattr.add_int_column("side", 0);
+  for (vid_t v = 4; v < 8; ++v) vattr.ints("side")[v] = 1;
+  const auto right = vattr.select_int_eq("side", 1);
+  EXPECT_EQ(right.size(), 4u);
+  const Subgraph sub = induced_subgraph(g, right);
+  EXPECT_EQ(sub.graph.num_vertices(), 4);
+  EXPECT_EQ(sub.graph.num_edges(), 6);  // the K4, bridge dropped
+}
+
+// ---------------------------------------------------- weighted betweenness
+
+TEST(WeightedBC, UnweightedFallbackMatchesPlainBrandes) {
+  const auto g = gen::karate_club();
+  const auto w = weighted_betweenness_centrality(g);
+  const auto plain = betweenness_centrality(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(w.vertex[v], plain.vertex[v], 1e-9);
+}
+
+TEST(WeightedBC, WeightsRerouteShortestPaths) {
+  // Square 0-1-2-3-0.  Unweighted: two equal paths between opposite
+  // corners.  Making edges (0,1),(1,2) cheap routes everything through 1.
+  const EdgeList edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 4.0}, {0, 3, 4.0}};
+  const auto g = CSRGraph::from_edges(4, edges, false);
+  const auto bc = weighted_betweenness_centrality(g);
+  // d(0,2) = 2 via 1; d(1,3) = 5 via 0 or 2 (tie); d(0,3)=4 direct.
+  EXPECT_DOUBLE_EQ(bc.vertex[1], 1.0);   // carries the (0,2) pair
+  EXPECT_DOUBLE_EQ(bc.vertex[0], 0.5);   // half of the tied (1,3) pair
+  EXPECT_DOUBLE_EQ(bc.vertex[2], 0.5);
+}
+
+TEST(WeightedBC, EqualWeightsMatchUnweighted) {
+  // All weights 3.0: same shortest-path structure as unweighted.
+  SplitMix64 rng(4);
+  EdgeList edges;
+  for (int i = 0; i < 300; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(80));
+    const auto v = static_cast<vid_t>(rng.next_bounded(80));
+    if (u != v) edges.push_back({u, v, 3.0});
+  }
+  const auto g = CSRGraph::from_edges(80, edges, false);
+  EdgeList unit = edges;
+  for (auto& e : unit) e.w = 1.0;
+  const auto gu = CSRGraph::from_edges(80, unit, false);
+  const auto w = weighted_betweenness_centrality(g);
+  const auto u = betweenness_centrality(gu);
+  for (vid_t v = 0; v < 80; ++v)
+    EXPECT_NEAR(w.vertex[v], u.vertex[v], 1e-6) << v;
+  for (eid_t e = 0; e < g.num_edges(); ++e)
+    EXPECT_NEAR(w.edge[static_cast<std::size_t>(e)],
+                u.edge[static_cast<std::size_t>(e)], 1e-6);
+}
+
+TEST(WeightedBC, DirectedWeightedPath) {
+  const EdgeList edges{{0, 1, 2.0}, {1, 2, 3.0}};
+  const auto g = CSRGraph::from_edges(3, edges, /*directed=*/true);
+  const auto bc = weighted_betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc.vertex[1], 1.0);
+  EXPECT_DOUBLE_EQ(bc.vertex[0], 0.0);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+namespace {
+
+TEST(BfsSerial, PathGraphDistances) {
+  const auto g = gen::path_graph(10);
+  const auto r = bfs_serial(g, 0);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.num_visited, 10);
+  EXPECT_EQ(r.num_levels, 9);
+  EXPECT_EQ(r.parent[0], 0);
+  EXPECT_EQ(r.parent[5], 4);
+}
+
+TEST(BfsSerial, StarGraph) {
+  const auto g = gen::star_graph(6);
+  const auto r = bfs_serial(g, 0);
+  EXPECT_EQ(r.num_levels, 1);
+  const auto leaf = bfs_serial(g, 3);
+  EXPECT_EQ(leaf.dist[0], 1);
+  EXPECT_EQ(leaf.dist[5], 2);
+  EXPECT_EQ(leaf.num_levels, 2);
+}
+
+TEST(BfsSerial, DisconnectedUnreached) {
+  const auto g = CSRGraph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}}, false);
+  const auto r = bfs_serial(g, 0);
+  EXPECT_EQ(r.dist[2], -1);
+  EXPECT_EQ(r.parent[2], kInvalidVid);
+  EXPECT_EQ(r.num_visited, 2);
+}
+
+using BfsCase = std::tuple<int /*gen*/, int /*threads*/>;
+
+class ParallelBfs : public ::testing::TestWithParam<BfsCase> {
+ protected:
+  CSRGraph make_graph(int which) const {
+    switch (which) {
+      case 0: {
+        gen::RmatParams p;
+        p.scale = 11;
+        p.edge_factor = 8;
+        return gen::rmat(p);
+      }
+      case 1:
+        return gen::erdos_renyi(2000, 8000, false, 3);
+      case 2:
+        return gen::grid_road(40, 40);
+      default:
+        return gen::star_graph(5000);  // extreme degree skew
+    }
+  }
+};
+
+TEST_P(ParallelBfs, MatchesSerialDistances) {
+  const auto [which, threads] = GetParam();
+  const auto g = make_graph(which);
+  parallel::ThreadScope scope(threads);
+  const auto ser = bfs_serial(g, 0);
+  const auto par = bfs(g, 0);
+  ASSERT_EQ(par.dist.size(), ser.dist.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(par.dist[v], ser.dist[v]) << "vertex " << v;
+  EXPECT_EQ(par.num_visited, ser.num_visited);
+  EXPECT_EQ(par.num_levels, ser.num_levels);
+}
+
+TEST_P(ParallelBfs, ParentsFormValidBfsTree) {
+  const auto [which, threads] = GetParam();
+  const auto g = make_graph(which);
+  parallel::ThreadScope scope(threads);
+  const auto r = bfs(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.dist[v] <= 0) continue;
+    const vid_t p = r.parent[v];
+    ASSERT_NE(p, kInvalidVid);
+    EXPECT_EQ(r.dist[v], r.dist[p] + 1);
+    EXPECT_TRUE(g.has_edge(p, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsAndThreads, ParallelBfs,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(BfsMasked, RespectsDeletedEdges) {
+  // Path 0-1-2-3; delete edge (1,2).
+  const auto g = gen::path_graph(4);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  // Find the logical id of edge (1,2).
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    if ((ed.u == 1 && ed.v == 2) || (ed.u == 2 && ed.v == 1))
+      alive[static_cast<std::size_t>(e)] = 0;
+  }
+  const auto r = bfs_masked(g, 0, alive);
+  EXPECT_EQ(r.dist[1], 1);
+  EXPECT_EQ(r.dist[2], -1);
+  EXPECT_EQ(r.dist[3], -1);
+  EXPECT_EQ(r.num_visited, 2);
+}
+
+TEST(BfsMasked, AllAliveMatchesPlainBfs) {
+  const auto g = gen::erdos_renyi(500, 2000, false, 9);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  const auto a = bfs_masked(g, 0, alive);
+  const auto b = bfs_serial(g, 0);
+  EXPECT_EQ(a.dist, b.dist);
+}
+
+TEST(Bfs, SingleVertexGraph) {
+  const auto g = CSRGraph::from_edges(1, {}, false);
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.num_visited, 1);
+  EXPECT_EQ(r.num_levels, 0);
+  EXPECT_EQ(r.dist[0], 0);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "snap/centrality/approx_betweenness.hpp"
+#include "snap/centrality/betweenness.hpp"
+#include "snap/centrality/closeness.hpp"
+#include "snap/centrality/degree.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+namespace {
+
+TEST(DegreeCentrality, RawAndNormalized) {
+  const auto g = gen::star_graph(4);  // center 0, leaves 1..4
+  const auto raw = degree_centrality(g);
+  EXPECT_DOUBLE_EQ(raw[0], 4.0);
+  EXPECT_DOUBLE_EQ(raw[1], 1.0);
+  const auto norm = degree_centrality(g, /*normalize=*/true);
+  EXPECT_DOUBLE_EQ(norm[0], 1.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.25);
+}
+
+TEST(DegreeCentrality, InDegrees) {
+  const auto g = CSRGraph::from_edges(
+      3, {{0, 2, 1.0}, {1, 2, 1.0}}, /*directed=*/true);
+  const auto in = in_degrees(g);
+  EXPECT_EQ(in[2], 2);
+  EXPECT_EQ(in[0], 0);
+}
+
+TEST(Closeness, PathGraphEndpointsVsCenter) {
+  const auto g = gen::path_graph(5);  // 0-1-2-3-4
+  const auto cc = closeness_centrality(g);
+  // Center distance sum = 1+2+1+2 = 6; endpoint = 1+2+3+4 = 10.
+  EXPECT_DOUBLE_EQ(cc[2], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0 / 10.0);
+  EXPECT_GT(cc[2], cc[0]);
+}
+
+TEST(Closeness, IsolatedVertexZero) {
+  const auto g = CSRGraph::from_edges(3, {{0, 1, 1.0}}, false);
+  const auto cc = closeness_centrality(g);
+  EXPECT_DOUBLE_EQ(cc[2], 0.0);
+}
+
+TEST(Closeness, WeightedUsesDistances) {
+  const EdgeList edges{{0, 1, 10.0}, {1, 2, 10.0}};
+  const auto g = CSRGraph::from_edges(3, edges, false);
+  const auto cc = closeness_centrality(g);
+  EXPECT_DOUBLE_EQ(cc[1], 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0 / 30.0);
+}
+
+TEST(Closeness, SampledApproximatesExactOnConnectedGraph) {
+  const auto g = gen::grid_road(15, 15, 0.0, 0.0, 1);
+  const auto exact = closeness_centrality(g);
+  const auto approx = closeness_centrality_sampled(g, 120, 3);
+  // Spearman-ish check: the top exact vertex should rank highly in approx.
+  const auto best = static_cast<std::size_t>(
+      std::max_element(exact.begin(), exact.end()) - exact.begin());
+  vid_t rank = 0;
+  for (std::size_t v = 0; v < approx.size(); ++v)
+    if (approx[v] > approx[best]) ++rank;
+  EXPECT_LT(rank, g.num_vertices() / 10);
+}
+
+// ------------------------------------------------------------- Betweenness
+
+TEST(Betweenness, PathGraphKnownValues) {
+  const auto g = gen::path_graph(5);
+  const auto bc = betweenness_centrality(g);
+  // Unnormalized undirected: BC(v) = #pairs separated.
+  EXPECT_DOUBLE_EQ(bc.vertex[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc.vertex[1], 3.0);  // pairs (0,2),(0,3),(0,4)
+  EXPECT_DOUBLE_EQ(bc.vertex[2], 4.0);  // (0,3),(0,4),(1,3),(1,4)
+  EXPECT_DOUBLE_EQ(bc.vertex[4], 0.0);
+}
+
+TEST(Betweenness, StarCenter) {
+  const auto g = gen::star_graph(5);
+  const auto bc = betweenness_centrality(g);
+  // Center lies on all C(5,2) = 10 leaf pairs.
+  EXPECT_DOUBLE_EQ(bc.vertex[0], 10.0);
+  for (vid_t v = 1; v <= 5; ++v) EXPECT_DOUBLE_EQ(bc.vertex[v], 0.0);
+}
+
+TEST(Betweenness, CycleSymmetric) {
+  const auto g = gen::cycle_graph(6);
+  const auto bc = betweenness_centrality(g);
+  for (vid_t v = 1; v < 6; ++v)
+    EXPECT_NEAR(bc.vertex[v], bc.vertex[0], 1e-9);
+}
+
+TEST(Betweenness, EdgeScoresOnBarbellBridge) {
+  const auto g = gen::barbell_graph(4);  // bridge (3,4), 4+4 vertices
+  const auto bc = betweenness_centrality(g);
+  // The bridge carries all 4*4 = 16 cross pairs.
+  eid_t bridge = kInvalidEid;
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    if (ed.u == 3 && ed.v == 4) bridge = e;
+  }
+  ASSERT_NE(bridge, kInvalidEid);
+  EXPECT_DOUBLE_EQ(bc.edge[static_cast<std::size_t>(bridge)], 16.0);
+  // And it is the strict maximum.
+  for (eid_t e = 0; e < g.num_edges(); ++e)
+    if (e != bridge)
+      EXPECT_LT(bc.edge[static_cast<std::size_t>(e)],
+                bc.edge[static_cast<std::size_t>(bridge)]);
+}
+
+class BetweennessGranularity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BetweennessGranularity, CoarseAndFineAgree) {
+  const auto [which, threads] = GetParam();
+  parallel::ThreadScope scope(threads);
+  CSRGraph g = which == 0 ? gen::karate_club()
+                          : gen::erdos_renyi(200, 800, false, 5);
+  const auto coarse = betweenness_centrality(g, BCGranularity::kCoarse);
+  const auto fine = betweenness_centrality(g, BCGranularity::kFine);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(coarse.vertex[v], fine.vertex[v], 1e-6) << "vertex " << v;
+  for (eid_t e = 0; e < g.num_edges(); ++e)
+    EXPECT_NEAR(coarse.edge[static_cast<std::size_t>(e)],
+                fine.edge[static_cast<std::size_t>(e)], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BetweennessGranularity,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(1, 4)));
+
+TEST(Betweenness, DirectedPath) {
+  const auto g = CSRGraph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}},
+                                      /*directed=*/true);
+  const auto bc = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc.vertex[1], 1.0);  // only s=0,t=2 passes through
+  EXPECT_DOUBLE_EQ(bc.vertex[0], 0.0);
+}
+
+TEST(EdgeBetweennessMasked, MaskedEdgesExcluded) {
+  const auto g = gen::cycle_graph(4);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  alive[0] = 0;  // cycle becomes a path
+  const auto scores = edge_betweenness_masked(g, alive);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  // Remaining path of 4 vertices: middle edge carries 2*2 = 4 pairs.
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  EXPECT_DOUBLE_EQ(mx, 4.0);
+}
+
+TEST(ApproxEdgeBetweenness, AllSourcesEqualsExact) {
+  const auto g = gen::karate_club();
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  std::vector<vid_t> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), vid_t{0});
+  const auto approx = approx_edge_betweenness(g, alive, all);
+  const auto exact = edge_betweenness_masked(g, alive);
+  for (eid_t e = 0; e < g.num_edges(); ++e)
+    EXPECT_NEAR(approx[static_cast<std::size_t>(e)],
+                exact[static_cast<std::size_t>(e)], 1e-9);
+}
+
+TEST(ApproxEdgeBetweenness, SampledFindsTopBridge) {
+  const auto g = gen::barbell_graph(30);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  // Sample 10% of sources.
+  std::vector<vid_t> sources;
+  for (vid_t v = 0; v < g.num_vertices(); v += 10) sources.push_back(v);
+  const auto scores = approx_edge_betweenness(g, alive, sources);
+  const auto top = static_cast<eid_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  const Edge ed = g.edge(top);
+  EXPECT_TRUE(ed.u == 29 && ed.v == 30) << ed.u << "-" << ed.v;
+}
+
+// ---------------------------------------------------- Adaptive sampling BC
+
+TEST(AdaptiveBC, VertexEstimateNearExactOnStar) {
+  const auto g = gen::star_graph(40);
+  AdaptiveBCParams p;
+  p.seed = 3;
+  const auto est = adaptive_betweenness_vertex(g, 0, p);
+  // Exact: C(40,2) = 780.
+  EXPECT_NEAR(est.estimate, 780.0, 780.0 * 0.25);
+  EXPECT_TRUE(est.converged);
+  EXPECT_LT(est.samples_used, g.num_vertices());
+}
+
+TEST(AdaptiveBC, HighCentralityConvergesFasterThanFullScan) {
+  const auto g = gen::barbell_graph(40);
+  AdaptiveBCParams p;
+  p.seed = 7;
+  const auto est = adaptive_betweenness_vertex(g, 39, p);  // bridge endpoint
+  EXPECT_TRUE(est.converged);
+  EXPECT_LT(static_cast<double>(est.samples_used),
+            0.5 * static_cast<double>(g.num_vertices()));
+}
+
+TEST(AdaptiveBC, EdgeEstimateOnBarbellBridge) {
+  const auto g = gen::barbell_graph(20);
+  eid_t bridge = kInvalidEid;
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    if (ed.u == 19 && ed.v == 20) bridge = e;
+  }
+  ASSERT_NE(bridge, kInvalidEid);
+  AdaptiveBCParams p;
+  p.seed = 5;
+  const auto est = adaptive_betweenness_edge(g, bridge, p);
+  EXPECT_NEAR(est.estimate, 400.0, 400.0 * 0.3);  // exact 20*20
+}
+
+TEST(AdaptiveBC, LowCentralityVertexDoesNotConvergeEarly) {
+  const auto g = gen::path_graph(50);
+  AdaptiveBCParams p;
+  p.cutoff_factor = 10.0;  // endpoint has BC 0; cutoff unreachable
+  const auto est = adaptive_betweenness_vertex(g, 0, p);
+  EXPECT_FALSE(est.converged);
+  EXPECT_NEAR(est.estimate, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace snap

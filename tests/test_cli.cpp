@@ -1,0 +1,123 @@
+// End-to-end smoke tests of the snap-cli tool: every subcommand is run as a
+// real process against temp files, exactly as a user would.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef SNAP_CLI_PATH
+#error "SNAP_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+std::string tmp(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("snap_cli_" + name))
+      .string();
+}
+
+int run(const std::string& args) {
+  const std::string cmd =
+      std::string(SNAP_CLI_PATH) + " " + args + " > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_path_ = tmp("g.txt");
+    ASSERT_EQ(run("generate --type planted --n 500 --k 5 --deg-in 10 "
+                  "--deg-out 1 --seed 3 --out " +
+                  graph_path_),
+              0);
+  }
+  static void TearDownTestSuite() { std::filesystem::remove(graph_path_); }
+  static std::string graph_path_;
+};
+
+std::string CliTest::graph_path_;
+
+TEST_F(CliTest, NoArgsShowsUsageAndFails) { EXPECT_NE(run(""), 0); }
+
+TEST_F(CliTest, UnknownCommandFails) { EXPECT_NE(run("frobnicate"), 0); }
+
+TEST_F(CliTest, Summary) {
+  EXPECT_EQ(run("summary --in " + graph_path_), 0);
+}
+
+TEST_F(CliTest, SummaryMissingFileFails) {
+  EXPECT_NE(run("summary --in /nonexistent/g.txt"), 0);
+}
+
+TEST_F(CliTest, CommunityAllAlgorithms) {
+  for (const char* algo : {"pma", "pla", "pbd", "spectral"}) {
+    const std::string out = tmp(std::string("mem_") + algo + ".txt");
+    EXPECT_EQ(run("community --in " + graph_path_ + " --algo " + algo +
+                  " --out " + out),
+              0)
+        << algo;
+    // The membership file must have one line per vertex.
+    std::ifstream in(out);
+    int lines = 0;
+    std::string line;
+    while (std::getline(in, line)) ++lines;
+    EXPECT_EQ(lines, 500) << algo;
+    std::filesystem::remove(out);
+  }
+}
+
+TEST_F(CliTest, PartitionMethods) {
+  for (const char* m : {"kway", "recursive", "lanczos"}) {
+    EXPECT_EQ(
+        run("partition --in " + graph_path_ + " --k 4 --method " + m), 0)
+        << m;
+  }
+}
+
+TEST_F(CliTest, CentralityMetrics) {
+  for (const char* m : {"degree", "closeness", "betweenness", "stress"}) {
+    EXPECT_EQ(
+        run("centrality --in " + graph_path_ + " --metric " + m + " --top 5"),
+        0)
+        << m;
+  }
+}
+
+TEST_F(CliTest, ConvertRoundtripThroughEveryFormat) {
+  const std::string net = tmp("g.net");
+  const std::string metis = tmp("g.graph");
+  const std::string bin = tmp("g.bin");
+  const std::string back = tmp("g_back.txt");
+  EXPECT_EQ(run("convert --in " + graph_path_ + " --out " + net), 0);
+  EXPECT_EQ(run("convert --in " + net + " --out " + metis), 0);
+  EXPECT_EQ(run("convert --in " + metis + " --out " + bin), 0);
+  EXPECT_EQ(run("convert --in " + bin + " --out " + back), 0);
+  // The final edge list must still parse and carry the same counts.
+  EXPECT_EQ(run("summary --in " + back), 0);
+  for (const auto& p : {net, metis, bin, back}) std::filesystem::remove(p);
+}
+
+TEST_F(CliTest, RobustnessAttacks) {
+  for (const char* attack : {"degree", "random"}) {
+    EXPECT_EQ(run("robustness --in " + graph_path_ + " --attack " + attack +
+                  " --steps 5"),
+              0)
+        << attack;
+  }
+}
+
+TEST_F(CliTest, GenerateEveryFamily) {
+  for (const char* type : {"rmat", "er", "ws", "grid"}) {
+    const std::string out = tmp(std::string("gen_") + type + ".txt");
+    EXPECT_EQ(run(std::string("generate --type ") + type +
+                  " --n 512 --m 2048 --scale 9 --rows 20 --cols 20 --out " +
+                  out),
+              0)
+        << type;
+    std::filesystem::remove(out);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "snap/community/gn.hpp"
+#include "snap/community/modularity.hpp"
+#include "snap/community/pbd.hpp"
+#include "snap/community/pla.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+namespace {
+
+/// Fraction of vertex pairs on which two clusterings agree (Rand index).
+double rand_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  std::int64_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const bool sa = a[i] == a[j];
+      const bool sb = b[i] == b[j];
+      agree += (sa == sb);
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+TEST(GirvanNewman, KarateReachesPublishedModularity) {
+  const auto g = gen::karate_club();
+  const auto r = girvan_newman(g);
+  // Paper Table 2: GN on Karate = 0.401.
+  EXPECT_NEAR(r.modularity, 0.401, 0.015);
+  EXPECT_GE(r.clustering.num_clusters, 2);
+  EXPECT_EQ(r.clustering.membership.size(), 34u);
+}
+
+TEST(GirvanNewman, BarbellCutsTheBridgeFirst) {
+  const auto g = gen::barbell_graph(6);
+  DivisiveParams p;
+  p.max_iterations = 1;
+  const auto r = girvan_newman(g, p);
+  ASSERT_EQ(r.divisive_trace.steps().size(), 1u);
+  const auto& step = r.divisive_trace.steps()[0];
+  EXPECT_TRUE((step.removed_u == 5 && step.removed_v == 6));
+  EXPECT_EQ(step.num_clusters, 2);
+  // Perfect two-clique split.
+  EXPECT_EQ(r.clustering.num_clusters, 2);
+  EXPECT_NE(r.clustering.membership[0], r.clustering.membership[11]);
+}
+
+TEST(GirvanNewman, TargetClustersStops) {
+  const auto g = gen::karate_club();
+  DivisiveParams p;
+  p.target_clusters = 2;
+  const auto r = girvan_newman(g, p);
+  EXPECT_LT(r.iterations, g.num_edges());
+}
+
+TEST(Pbd, KarateComparableToGN) {
+  const auto g = gen::karate_club();
+  const auto gn = girvan_newman(g);
+  PBDParams p;
+  p.exact_threshold = 64;  // exact scores on this tiny instance
+  const auto r = pbd(g, p);
+  // Paper Table 2: pBD 0.397 vs GN 0.401 — "comparable quality".
+  EXPECT_NEAR(r.modularity, gn.modularity, 0.05);
+  EXPECT_GT(r.modularity, 0.35);
+}
+
+TEST(Pbd, BarbellSplitsAtBridge) {
+  const auto g = gen::barbell_graph(8);
+  PBDParams p;
+  p.stop.target_clusters = 2;
+  const auto r = pbd(g, p);
+  EXPECT_EQ(r.clustering.num_clusters, 2);
+  for (vid_t v = 0; v < 8; ++v)
+    EXPECT_EQ(r.clustering.membership[v], r.clustering.membership[0]);
+  for (vid_t v = 8; v < 16; ++v)
+    EXPECT_EQ(r.clustering.membership[v], r.clustering.membership[8]);
+}
+
+TEST(Pbd, SampledModeRecoversPlantedPartition) {
+  std::vector<vid_t> truth;
+  // ~150 inter-community edges; a divisive scheme must delete essentially
+  // all of them before the components (and hence modularity) move, so the
+  // iteration budget has to exceed that with slack for sampling error.
+  const auto g = gen::planted_partition(300, 3, 14.0, 1.0, 7, &truth);
+  PBDParams p;
+  p.exact_threshold = 32;      // forces the sampled path on the big component
+  p.sample_fraction = 0.15;
+  p.stop.max_iterations = 500;
+  p.stop.target_clusters = 3;
+  const auto r = pbd(g, p);
+  EXPECT_GT(r.modularity, 0.4);
+  EXPECT_GT(rand_index(r.clustering.membership, truth), 0.8);
+}
+
+TEST(Pbd, PrefilterOnAndOffBothWork) {
+  const auto g = gen::karate_club();
+  PBDParams with;
+  with.bicc_prefilter = true;
+  PBDParams without;
+  without.bicc_prefilter = false;
+  EXPECT_GT(pbd(g, with).modularity, 0.3);
+  EXPECT_GT(pbd(g, without).modularity, 0.3);
+}
+
+TEST(Pbd, DirectedThrows) {
+  const auto g = CSRGraph::from_edges(2, {{0, 1, 1.0}}, /*directed=*/true);
+  EXPECT_THROW(pbd(g), std::invalid_argument);
+}
+
+TEST(Pma, KarateNearPublishedValue) {
+  const auto g = gen::karate_club();
+  const auto r = pma(g);
+  // Paper Table 2: pMA on Karate = 0.381 (CNM).
+  EXPECT_NEAR(r.modularity, 0.381, 0.015);
+  EXPECT_EQ(r.clustering.num_clusters, 3);
+}
+
+TEST(Pma, TwoCliquesPerfectSplit) {
+  const auto g = gen::barbell_graph(6);
+  const auto r = pma(g);
+  EXPECT_EQ(r.clustering.num_clusters, 2);
+  EXPECT_GT(r.modularity, 0.4);
+}
+
+TEST(Pma, DendrogramTraceIsConsistent) {
+  const auto g = gen::karate_club();
+  const auto r = pma(g);
+  // Replaying the dendrogram at its best step must reproduce the clustering.
+  const auto replay = r.dendrogram.cut_at_best();
+  const auto norm = normalize_labels(replay);
+  EXPECT_EQ(norm.num_clusters, r.clustering.num_clusters);
+  EXPECT_NEAR(modularity(g, norm.membership), r.modularity, 1e-9);
+  // Trace modularity at the best step must equal the final score.
+  const auto best = r.dendrogram.best_step();
+  ASSERT_GE(best, 0);
+  EXPECT_NEAR(r.dendrogram.merges()[static_cast<std::size_t>(best)].modularity,
+              r.modularity, 1e-9);
+}
+
+TEST(Pma, DisconnectedGraphStopsAtComponents) {
+  // Two disjoint triangles: no inter-component ΔQ entries exist.
+  EdgeList edges{{0, 1, 1}, {1, 2, 1}, {0, 2, 1},
+                 {3, 4, 1}, {4, 5, 1}, {3, 5, 1}};
+  const auto g = CSRGraph::from_edges(6, edges, false);
+  const auto r = pma(g);
+  EXPECT_EQ(r.clustering.num_clusters, 2);
+}
+
+TEST(Pma, PlantedPartitionRecovery) {
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(600, 6, 12.0, 1.0, 13, &truth);
+  const auto r = pma(g);
+  EXPECT_GT(r.modularity, 0.5);
+  EXPECT_GT(rand_index(r.clustering.membership, truth), 0.8);
+}
+
+TEST(Pma, TargetClustersStopsEarly) {
+  const auto g = gen::karate_club();
+  PMAParams p;
+  p.target_clusters = 10;
+  const auto r = pma(g, p);
+  EXPECT_GE(r.clustering.num_clusters, 10);
+}
+
+TEST(Pma, DirectedThrows) {
+  const auto g = CSRGraph::from_edges(2, {{0, 1, 1.0}}, /*directed=*/true);
+  EXPECT_THROW(pma(g), std::invalid_argument);
+}
+
+TEST(Pla, KarateFindsCommunities) {
+  const auto g = gen::karate_club();
+  const auto r = pla(g);
+  // Paper Table 2: pLA on Karate = 0.397.
+  EXPECT_GT(r.modularity, 0.3);
+  EXPECT_GE(r.clustering.num_clusters, 2);
+}
+
+TEST(Pla, BarbellPerfectSplit) {
+  const auto g = gen::barbell_graph(6);
+  const auto r = pla(g);
+  EXPECT_EQ(r.clustering.num_clusters, 2);
+  EXPECT_GT(r.modularity, 0.4);
+}
+
+TEST(Pla, PlantedPartitionRecovery) {
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(600, 6, 12.0, 1.0, 21, &truth);
+  const auto r = pla(g);
+  EXPECT_GT(r.modularity, 0.45);
+  EXPECT_GT(rand_index(r.clustering.membership, truth), 0.75);
+}
+
+TEST(Pla, DeterministicForFixedSeed) {
+  const auto g = gen::karate_club();
+  PLAParams p;
+  p.seed = 5;
+  const auto a = pla(g, p);
+  const auto b = pla(g, p);
+  EXPECT_EQ(a.clustering.membership, b.clustering.membership);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(Pla, MetricAndSeedOrderVariants) {
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(300, 3, 12.0, 1.0, 9, &truth);
+  PLAParams cc;
+  cc.metric = PLAMetric::kClusteringCoeff;
+  PLAParams bfs;
+  bfs.bfs_seed_order = true;
+  EXPECT_GT(pla(g, cc).modularity, 0.3);
+  EXPECT_GT(pla(g, bfs).modularity, 0.3);
+}
+
+TEST(Pla, MaxClusterSizeRespectedBeforeAmalgamation) {
+  const auto g = gen::complete_graph(20);
+  PLAParams p;
+  p.max_cluster_size = 5;
+  p.amalgamate = false;
+  const auto r = pla(g, p);
+  std::map<vid_t, int> sizes;
+  for (vid_t c : r.clustering.membership) ++sizes[c];
+  for (const auto& [c, s] : sizes) EXPECT_LE(s, 5);
+}
+
+TEST(Pla, DirectedThrows) {
+  const auto g = CSRGraph::from_edges(2, {{0, 1, 1.0}}, /*directed=*/true);
+  EXPECT_THROW(pla(g), std::invalid_argument);
+}
+
+// ------------------------------ cross-algorithm comparisons (Table 2 shape)
+
+TEST(AllThree, ComparableQualityOnEmailSizedSynthetic) {
+  // Synthetic stand-in for the paper's E-mail network (n=1133): all three
+  // schemes should find significant community structure and land within a
+  // modest band of each other, as in Table 2.
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(1133, 12, 8.0, 0.75, 99, &truth);
+  PBDParams bp;
+  // No cluster-count target: divisive splits peel stray vertices long before
+  // whole communities separate, so only an edge-removal budget larger than
+  // the ~420 inter-community edges lets modularity develop.
+  bp.stop.max_iterations = 1000;
+  bp.exact_threshold = 128;
+  const auto q_pbd = pbd(g, bp).modularity;
+  const auto q_pma = pma(g).modularity;
+  const auto q_pla = pla(g).modularity;
+  EXPECT_GT(q_pbd, 0.3);
+  EXPECT_GT(q_pma, 0.3);
+  EXPECT_GT(q_pla, 0.3);
+  EXPECT_LT(std::abs(q_pma - q_pla), 0.25);
+}
+
+TEST(ThreadsDontChangePmaResultShape, MultithreadedRun) {
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(400, 4, 10.0, 1.0, 31, &truth);
+  double q1, q4;
+  {
+    parallel::ThreadScope scope(1);
+    q1 = pma(g).modularity;
+  }
+  {
+    parallel::ThreadScope scope(4);
+    q4 = pma(g).modularity;
+  }
+  // The greedy sequence is deterministic regardless of thread count.
+  EXPECT_NEAR(q1, q4, 1e-9);
+}
+
+}  // namespace
+}  // namespace snap

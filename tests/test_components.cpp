@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "snap/ds/union_find.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+TEST(Components, SingleComponent) {
+  const auto g = gen::cycle_graph(100);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  for (vid_t v = 0; v < 100; ++v) EXPECT_EQ(c.label[v], 0);
+}
+
+TEST(Components, IsolatedVertices) {
+  const auto g = CSRGraph::from_edges(5, {{0, 1, 1.0}}, false);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 4);
+  EXPECT_EQ(c.label[0], c.label[1]);
+}
+
+TEST(Components, TwoCliques) {
+  EdgeList edges;
+  for (vid_t u = 0; u < 5; ++u)
+    for (vid_t v = u + 1; v < 5; ++v) {
+      edges.push_back({u, v, 1.0});
+      edges.push_back({u + 5, v + 5, 1.0});
+    }
+  const auto g = CSRGraph::from_edges(10, edges, false);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 2);
+  const auto sizes = c.sizes();
+  EXPECT_EQ(sizes[0], 5);
+  EXPECT_EQ(sizes[1], 5);
+}
+
+TEST(Components, LabelsAreDense) {
+  const auto g = CSRGraph::from_edges(
+      7, {{1, 2, 1.0}, {4, 5, 1.0}}, false);
+  const auto c = connected_components(g);
+  const vid_t mx = *std::max_element(c.label.begin(), c.label.end());
+  EXPECT_EQ(mx + 1, c.count);
+}
+
+TEST(Components, GiantComponent) {
+  EdgeList edges;
+  for (vid_t v = 0; v + 1 < 50; ++v) edges.push_back({v, v + 1, 1.0});
+  edges.push_back({60, 61, 1.0});
+  const auto g = CSRGraph::from_edges(62, edges, false);
+  const auto c = connected_components(g);
+  const auto sizes = c.sizes();
+  EXPECT_EQ(sizes[static_cast<std::size_t>(c.giant())], 50);
+}
+
+class ComponentsRandom
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(ComponentsRandom, MatchesUnionFindReference) {
+  const auto [seed, threads] = GetParam();
+  parallel::ThreadScope scope(threads);
+  SplitMix64 rng(seed);
+  const vid_t n = 2000;
+  EdgeList edges;
+  for (int i = 0; i < 2500; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(n));
+    const auto v = static_cast<vid_t>(rng.next_bounded(n));
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  const auto g = CSRGraph::from_edges(n, edges, false);
+  const auto c = connected_components(g);
+
+  UnionFind uf(static_cast<std::size_t>(n));
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  EXPECT_EQ(static_cast<std::size_t>(c.count), uf.num_sets());
+  for (const Edge& e : g.edges()) EXPECT_EQ(c.label[e.u], c.label[e.v]);
+  // Different components must get different labels.
+  for (vid_t v = 1; v < n; ++v) {
+    if (uf.find(v) != uf.find(0)) {
+      EXPECT_NE(c.label[v], c.label[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, ComponentsRandom,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(1, 4)));
+
+TEST(ComponentsMasked, SplitsWhenBridgeDeleted) {
+  const auto g = gen::barbell_graph(4);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  EXPECT_EQ(connected_components_masked(g, alive).count, 1);
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    if ((ed.u == 3 && ed.v == 4)) alive[static_cast<std::size_t>(e)] = 0;
+  }
+  const auto c = connected_components_masked(g, alive);
+  EXPECT_EQ(c.count, 2);
+  EXPECT_NE(c.label[0], c.label[7]);
+}
+
+TEST(ComponentsMasked, AllDeadIsAllSingletons) {
+  const auto g = gen::cycle_graph(10);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 0);
+  EXPECT_EQ(connected_components_masked(g, alive).count, 10);
+}
+
+TEST(Components, DirectedTreatedAsWeak) {
+  const auto g = CSRGraph::from_edges(3, {{0, 1, 1.0}, {2, 1, 1.0}},
+                                      /*directed=*/true);
+  EXPECT_EQ(connected_components(g).count, 1);
+}
+
+TEST(Components, LargeRmat) {
+  gen::RmatParams p;
+  p.scale = 13;
+  p.edge_factor = 8;
+  const auto g = gen::rmat(p);
+  const auto c = connected_components(g);
+  // RMAT graphs have one giant component plus isolated leftovers.
+  const auto sizes = c.sizes();
+  const vid_t giant = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_GT(giant, g.num_vertices() / 2);
+}
+
+}  // namespace
+}  // namespace snap

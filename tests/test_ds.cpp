@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "snap/ds/dendrogram.hpp"
+#include "snap/ds/lazy_max_heap.hpp"
+#include "snap/ds/multilevel_bucket.hpp"
+#include "snap/ds/sorted_dyn_array.hpp"
+#include "snap/ds/union_find.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+// ---------------------------------------------------------------- UnionFind
+
+TEST(UnionFind, BasicUnions) {
+  UnionFind uf(10);
+  EXPECT_EQ(uf.num_sets(), 10u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 9u);
+  EXPECT_EQ(uf.set_size(1), 2);
+}
+
+TEST(UnionFind, ChainCollapsesToOneSet) {
+  UnionFind uf(100);
+  for (int i = 0; i + 1 < 100; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.set_size(50), 100);
+  EXPECT_EQ(uf.find(0), uf.find(99));
+}
+
+TEST(UnionFind, FindNoCompressAgrees) {
+  UnionFind uf(50);
+  SplitMix64 rng(5);
+  for (int i = 0; i < 40; ++i)
+    uf.unite(static_cast<std::int64_t>(rng.next_bounded(50)),
+             static_cast<std::int64_t>(rng.next_bounded(50)));
+  for (std::int64_t v = 0; v < 50; ++v)
+    EXPECT_EQ(uf.find_no_compress(v), uf.find(v));
+}
+
+// ---------------------------------------------------------- SortedDynArray
+
+TEST(SortedDynArray, InsertFindErase) {
+  SortedDynArray<std::int64_t, double> a;
+  EXPECT_TRUE(a.insert_or_assign(5, 1.5));
+  EXPECT_TRUE(a.insert_or_assign(2, 2.5));
+  EXPECT_FALSE(a.insert_or_assign(5, 3.5));  // overwrite
+  ASSERT_NE(a.find(5), nullptr);
+  EXPECT_DOUBLE_EQ(a.find(5)->value, 3.5);
+  EXPECT_EQ(a.find(7), nullptr);
+  EXPECT_TRUE(a.erase(2));
+  EXPECT_FALSE(a.erase(2));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(SortedDynArray, StaysSortedUnderRandomOps) {
+  SortedDynArray<std::int64_t, double> a;
+  std::map<std::int64_t, double> ref;
+  SplitMix64 rng(17);
+  for (int op = 0; op < 3000; ++op) {
+    const auto k = static_cast<std::int64_t>(rng.next_bounded(100));
+    const double v = rng.next_double();
+    if (rng.next_bounded(4) == 0) {
+      EXPECT_EQ(a.erase(k), ref.erase(k) > 0);
+    } else {
+      a.insert_or_assign(k, v);
+      ref[k] = v;
+    }
+  }
+  ASSERT_EQ(a.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& e : a) {
+    EXPECT_EQ(e.key, it->first);
+    EXPECT_DOUBLE_EQ(e.value, it->second);
+    ++it;
+  }
+}
+
+TEST(SortedDynArray, AddAccumulates) {
+  SortedDynArray<std::int64_t, double> a;
+  a.add(3, 1.0);
+  a.add(3, 2.0);
+  a.add(1, 0.5);
+  EXPECT_DOUBLE_EQ(a.find(3)->value, 3.0);
+  EXPECT_DOUBLE_EQ(a.find(1)->value, 0.5);
+}
+
+TEST(SortedDynArray, MaxValueEntry) {
+  SortedDynArray<std::int64_t, double> a;
+  EXPECT_EQ(a.max_value_entry(), nullptr);
+  a.insert_or_assign(1, 0.3);
+  a.insert_or_assign(2, 0.9);
+  a.insert_or_assign(3, 0.1);
+  ASSERT_NE(a.max_value_entry(), nullptr);
+  EXPECT_EQ(a.max_value_entry()->key, 2);
+}
+
+// -------------------------------------------------------- MultiLevelBucket
+
+TEST(MultiLevelBucket, MaxTracksInsertsAndErases) {
+  MultiLevelBucket<std::int64_t> b(-1.0, 1.0);
+  EXPECT_TRUE(b.empty());
+  b.insert(1, 0.5);
+  b.insert(2, -0.3);
+  b.insert(3, 0.7);
+  EXPECT_EQ(b.max().key, 3);
+  EXPECT_TRUE(b.erase(3, 0.7));
+  EXPECT_EQ(b.max().key, 1);
+  EXPECT_FALSE(b.erase(3, 0.7));
+  EXPECT_TRUE(b.erase(1, 0.5));
+  EXPECT_EQ(b.max().key, 2);
+}
+
+class BucketRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BucketRandom, MaxMatchesReferenceUnderChurn) {
+  MultiLevelBucket<std::int64_t> b(-2.0, 2.0);
+  std::map<std::int64_t, double> ref;
+  SplitMix64 rng(GetParam());
+  for (int op = 0; op < 4000; ++op) {
+    const auto k = static_cast<std::int64_t>(rng.next_bounded(200));
+    if (ref.count(k) && rng.next_bounded(2) == 0) {
+      EXPECT_TRUE(b.erase(k, ref[k]));
+      ref.erase(k);
+    } else if (!ref.count(k)) {
+      const double v = 4.0 * rng.next_double() - 2.0;
+      b.insert(k, v);
+      ref[k] = v;
+    }
+    ASSERT_EQ(b.size(), ref.size());
+    if (!ref.empty()) {
+      double best = -10;
+      for (const auto& [kk, vv] : ref) best = std::max(best, vv);
+      EXPECT_DOUBLE_EQ(b.max().value, best);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BucketRandom, ::testing::Values(1, 7, 13));
+
+TEST(MultiLevelBucket, ClampsOutOfRangeValuesButKeepsMaxCorrect) {
+  MultiLevelBucket<std::int64_t> b(-1.0, 1.0);
+  b.insert(1, 5.0);   // clamps into the top bucket
+  b.insert(2, 0.5);
+  EXPECT_EQ(b.max().key, 1);
+  EXPECT_TRUE(b.erase(1, 5.0));
+  EXPECT_EQ(b.max().key, 2);
+}
+
+// ------------------------------------------------------------- LazyMaxHeap
+
+TEST(LazyMaxHeap, SkipsStaleEntries) {
+  LazyMaxHeap<std::int64_t> h;
+  std::vector<std::uint64_t> stamp(4, 0);
+  h.push(0, 1.0, stamp[0]);
+  h.push(1, 5.0, stamp[1]);
+  h.push(2, 3.0, stamp[2]);
+  stamp[1] = 1;  // invalidate the max
+  h.push(1, 2.0, stamp[1]);
+  LazyMaxHeap<std::int64_t>::Entry e{};
+  ASSERT_TRUE(h.pop_valid([&](std::int64_t i) { return stamp[i]; }, e));
+  EXPECT_EQ(e.id, 2);
+  EXPECT_DOUBLE_EQ(e.value, 3.0);
+  ASSERT_TRUE(h.pop_valid([&](std::int64_t i) { return stamp[i]; }, e));
+  EXPECT_EQ(e.id, 1);
+  EXPECT_DOUBLE_EQ(e.value, 2.0);
+}
+
+TEST(LazyMaxHeap, ExhaustsWhenAllStale) {
+  LazyMaxHeap<std::int64_t> h;
+  h.push(0, 1.0, 0);
+  LazyMaxHeap<std::int64_t>::Entry e{};
+  EXPECT_FALSE(h.pop_valid([](std::int64_t) { return 99u; }, e));
+  EXPECT_TRUE(h.empty());
+}
+
+// -------------------------------------------------------------- Dendrogram
+
+TEST(MergeDendrogram, CutAtBestReplaysMerges) {
+  MergeDendrogram d(5);
+  d.set_baseline(-0.5);
+  d.record_merge(0, 1, 0.1);
+  d.record_merge(2, 3, 0.3);  // best
+  d.record_merge(0, 2, 0.2);
+  EXPECT_EQ(d.best_step(), 1);
+  const auto mem = d.cut_at_best();
+  ASSERT_EQ(mem.size(), 5u);
+  EXPECT_EQ(mem[0], mem[1]);
+  EXPECT_EQ(mem[2], mem[3]);
+  EXPECT_NE(mem[0], mem[2]);
+  EXPECT_NE(mem[4], mem[0]);
+  EXPECT_NE(mem[4], mem[2]);
+}
+
+TEST(MergeDendrogram, BaselineWinsWhenNoMergeImproves) {
+  MergeDendrogram d(3);
+  d.set_baseline(0.4);
+  d.record_merge(0, 1, 0.1);
+  d.record_merge(0, 2, 0.2);
+  EXPECT_EQ(d.best_step(), -1);
+  const auto mem = d.cut_at_best();  // singletons
+  EXPECT_NE(mem[0], mem[1]);
+  EXPECT_NE(mem[1], mem[2]);
+}
+
+TEST(MergeDendrogram, ModularityTrace) {
+  MergeDendrogram d(3);
+  d.record_merge(0, 1, 0.1);
+  d.record_merge(0, 2, 0.0);
+  EXPECT_EQ(d.modularity_trace(), (std::vector<double>{0.1, 0.0}));
+}
+
+TEST(DivisiveTrace, KeepsBestSnapshot) {
+  DivisiveTrace t;
+  t.offer_best(0.1, {0, 0, 0});
+  t.offer_best(0.5, {0, 1, 1});
+  t.offer_best(0.3, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(t.best_modularity(), 0.5);
+  EXPECT_EQ(t.best_membership(), (std::vector<std::int64_t>{0, 1, 1}));
+  t.record(1, 2, 2, 0.5);
+  EXPECT_EQ(t.steps().size(), 1u);
+}
+
+}  // namespace
+}  // namespace snap

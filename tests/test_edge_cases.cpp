@@ -1,0 +1,123 @@
+// Degenerate-input behaviour across the public API: empty graphs, single
+// vertices, edgeless graphs, self-loops — the inputs user pipelines feed in
+// by accident must degrade gracefully, not crash.
+#include <gtest/gtest.h>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/centrality/closeness.hpp"
+#include "snap/community/gn.hpp"
+#include "snap/community/modularity.hpp"
+#include "snap/community/pbd.hpp"
+#include "snap/community/pla.hpp"
+#include "snap/community/pma.hpp"
+#include "snap/community/spectral_modularity.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/biconnected.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/kernels/kcore.hpp"
+#include "snap/kernels/mst.hpp"
+#include "snap/metrics/metrics.hpp"
+#include "snap/partition/multilevel.hpp"
+
+namespace snap {
+namespace {
+
+CSRGraph empty_graph() { return CSRGraph::from_edges(0, {}, false); }
+CSRGraph edgeless(vid_t n) { return CSRGraph::from_edges(n, {}, false); }
+
+TEST(EdgeCases, EmptyGraphEverywhere) {
+  const auto g = empty_graph();
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(connected_components(g).count, 0);
+  EXPECT_EQ(connected_components(g).giant(), kInvalidVid);
+  EXPECT_EQ(boruvka_mst(g).num_trees, 0);
+  EXPECT_TRUE(betweenness_centrality(g).vertex.empty());
+  EXPECT_TRUE(closeness_centrality(g).empty());
+  EXPECT_DOUBLE_EQ(average_degree(g), 0.0);
+  EXPECT_DOUBLE_EQ(assortativity_coefficient(g), 0.0);
+}
+
+TEST(EdgeCases, EmptyGraphCommunityAlgorithms) {
+  const auto g = empty_graph();
+  EXPECT_EQ(pma(g).clustering.num_clusters, 0);
+  EXPECT_EQ(pla(g).clustering.num_clusters, 0);
+  EXPECT_EQ(spectral_modularity(g).clustering.num_clusters, 0);
+}
+
+TEST(EdgeCases, EdgelessGraphIsAllSingletons) {
+  const auto g = edgeless(10);
+  EXPECT_EQ(connected_components(g).count, 10);
+  const auto r = pma(g);
+  EXPECT_EQ(r.clustering.num_clusters, 10);
+  EXPECT_DOUBLE_EQ(r.modularity, 0.0);  // no edges: q defined as 0
+  const auto kc = kcore_decomposition(g);
+  for (eid_t c : kc.core) EXPECT_EQ(c, 0);
+}
+
+TEST(EdgeCases, EdgelessDivisive) {
+  const auto g = edgeless(5);
+  const auto gn = girvan_newman(g);
+  EXPECT_EQ(gn.iterations, 0);
+  EXPECT_EQ(gn.clustering.num_clusters, 5);
+  const auto bd = pbd(g);
+  EXPECT_EQ(bd.iterations, 0);
+}
+
+TEST(EdgeCases, SingleVertex) {
+  const auto g = edgeless(1);
+  EXPECT_EQ(connected_components(g).count, 1);
+  EXPECT_EQ(biconnected_components(g).num_bicomps, 0);
+  EXPECT_EQ(pma(g).clustering.num_clusters, 1);
+  EXPECT_TRUE(multilevel_kway(g, 1).success);
+}
+
+TEST(EdgeCases, SingleEdge) {
+  const auto g = CSRGraph::from_edges(2, {{0, 1, 1.0}}, false);
+  const auto r = pma(g);
+  EXPECT_EQ(r.clustering.num_clusters, 1);  // merging is the only option
+  const auto gn = girvan_newman(g);
+  EXPECT_EQ(gn.iterations, 1);
+  const auto bc = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc.vertex[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc.edge[0], 1.0);
+}
+
+TEST(EdgeCases, SelfLoopsKeptDoNotBreakCommunity) {
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  const EdgeList edges{{0, 0, 2.0}, {0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  const auto g = CSRGraph::from_edges(3, edges, false, opts);
+  const auto r = pma(g);
+  // The heavy self-loop on 0 makes splitting {0} | {1,2} optimal:
+  // q = 3/5 − 0.6² − 0.4² = 0.08.
+  EXPECT_EQ(r.clustering.num_clusters, 2);
+  EXPECT_NEAR(r.modularity, 0.08, 1e-9);
+}
+
+TEST(EdgeCases, PartitionMoreWaysThanVertices) {
+  const auto g = gen::path_graph(3);
+  const auto r = multilevel_recursive_bisection(g, 8);
+  EXPECT_TRUE(r.success);
+  // Every vertex somewhere in [0, 8); no crash is the main assertion.
+  for (auto p : r.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+  }
+}
+
+TEST(EdgeCases, ModularityOfEmptyMembership) {
+  const auto g = empty_graph();
+  EXPECT_DOUBLE_EQ(modularity(g, {}), 0.0);
+}
+
+TEST(EdgeCases, StarWithDuplicateAndReversedEdges) {
+  // Messy real-world input: duplicates and both orientations.
+  const EdgeList edges{{0, 1, 1.0}, {1, 0, 1.0}, {0, 1, 1.0},
+                       {0, 2, 1.0}, {2, 0, 1.0}};
+  const auto g = CSRGraph::from_edges(3, edges, false);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+}  // namespace
+}  // namespace snap

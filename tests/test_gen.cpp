@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "snap/community/modularity.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/metrics/metrics.hpp"
+
+namespace snap {
+namespace {
+
+TEST(Rmat, SizeAndDeterminism) {
+  gen::RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  p.seed = 99;
+  const auto g1 = gen::rmat(p);
+  const auto g2 = gen::rmat(p);
+  EXPECT_EQ(g1.num_vertices(), 4096);
+  // Dedup + self-loop removal shrinks m slightly below edge_factor * n.
+  EXPECT_GT(g1.num_edges(), 8 * 4096 * 7 / 10);
+  EXPECT_LE(g1.num_edges(), 8 * 4096);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  gen::RmatParams p;
+  p.scale = 13;
+  p.edge_factor = 8;
+  const auto g = gen::rmat(p);
+  // Power-law-ish: the max degree should far exceed the average.
+  EXPECT_GT(static_cast<double>(g.max_degree()),
+            8.0 * average_degree(g));
+}
+
+TEST(Rmat, ExplicitEdgeCount) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.m = 5000;
+  p.noise = 0;
+  const auto g = gen::rmat(p);
+  EXPECT_LE(g.num_edges(), 5000);
+  EXPECT_GT(g.num_edges(), 3000);
+}
+
+TEST(ErdosRenyi, UniformDegrees) {
+  const auto g = gen::erdos_renyi(4096, 32768, false, 7);
+  EXPECT_EQ(g.num_vertices(), 4096);
+  // An ER graph's max degree stays within a few multiples of the mean.
+  EXPECT_LT(static_cast<double>(g.max_degree()), 4.0 * average_degree(g));
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const auto a = gen::erdos_renyi(100, 300, false, 5);
+  const auto b = gen::erdos_renyi(100, 300, false, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (const Edge& e : a.edges()) EXPECT_TRUE(b.has_edge(e.u, e.v));
+}
+
+TEST(GridRoad, ConnectedAndNearlyEuclidean) {
+  const auto g = gen::grid_road(50, 50);
+  EXPECT_EQ(g.num_vertices(), 2500);
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 1);
+  // Max degree is bounded by the lattice structure (4 grid + diagonals +
+  // stitching), nothing like a hub.
+  EXPECT_LE(g.max_degree(), 12);
+}
+
+TEST(WattsStrogatz, RingPlusRewiring) {
+  const auto g0 = gen::watts_strogatz(500, 4, 0.0, 3);
+  EXPECT_EQ(g0.num_edges(), 500 * 4);
+  // beta=0 ring lattice: every vertex has degree exactly 2k.
+  for (vid_t v = 0; v < g0.num_vertices(); ++v) EXPECT_EQ(g0.degree(v), 8);
+  // Rewiring keeps the edge count (minus dedupe collisions) but breaks
+  // regularity and lowers the clustering coefficient.
+  const auto g1 = gen::watts_strogatz(500, 4, 0.5, 3);
+  EXPECT_LT(average_clustering_coefficient(g1),
+            average_clustering_coefficient(g0));
+}
+
+TEST(PlantedPartition, GroundTruthHasHighModularity) {
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(1000, 10, 12.0, 2.0, 11, &truth);
+  ASSERT_EQ(truth.size(), 1000u);
+  const double q = modularity(g, truth);
+  EXPECT_GT(q, 0.5);  // strong community structure by construction
+}
+
+TEST(PlantedPartition, InterEdgesCrossCommunities) {
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(400, 4, 10.0, 0.0, 5, &truth);
+  // deg_out = 0: every edge must be intra-community.
+  for (const Edge& e : g.edges())
+    EXPECT_EQ(truth[static_cast<std::size_t>(e.u)],
+              truth[static_cast<std::size_t>(e.v)]);
+}
+
+TEST(Karate, CanonicalSize) {
+  const auto g = gen::karate_club();
+  EXPECT_EQ(g.num_vertices(), 34);
+  EXPECT_EQ(g.num_edges(), 78);
+  EXPECT_EQ(connected_components(g).count, 1);
+  // Instructor (0) and president (33) are the two hubs.
+  EXPECT_EQ(g.degree(0), 16);
+  EXPECT_EQ(g.degree(33), 17);
+}
+
+TEST(Classic, PathCycleCompleteStar) {
+  EXPECT_EQ(gen::path_graph(10).num_edges(), 9);
+  EXPECT_EQ(gen::cycle_graph(10).num_edges(), 10);
+  EXPECT_EQ(gen::complete_graph(6).num_edges(), 15);
+  const auto s = gen::star_graph(7);
+  EXPECT_EQ(s.num_vertices(), 8);
+  EXPECT_EQ(s.degree(0), 7);
+}
+
+TEST(Classic, BarbellHasBridge) {
+  const auto g = gen::barbell_graph(5);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 2 * 10 + 1);  // two K5 + bridge
+  EXPECT_TRUE(g.has_edge(4, 5));
+}
+
+}  // namespace
+}  // namespace snap

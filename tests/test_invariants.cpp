@@ -1,0 +1,174 @@
+// Cross-kernel invariants over a zoo of graph families: every test here
+// ties two independent implementations together through a mathematical
+// identity, so a bug in either side breaks the equation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/centrality/stress.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/graph/reorder.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/biconnected.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/kernels/kcore.hpp"
+#include "snap/kernels/mst.hpp"
+#include "snap/kernels/sssp.hpp"
+#include "snap/metrics/path_length.hpp"
+
+namespace snap {
+namespace {
+
+/// The graph zoo: one representative per structural family, all small
+/// enough for exact all-pairs reference computations.
+CSRGraph zoo(int which) {
+  switch (which) {
+    case 0: {
+      gen::RmatParams p;
+      p.scale = 8;
+      p.edge_factor = 6;
+      return gen::rmat(p);  // skewed degrees, fragmented
+    }
+    case 1:
+      return gen::erdos_renyi(300, 1200, false, 5);  // uniform degrees
+    case 2:
+      return gen::watts_strogatz(300, 3, 0.1, 7);  // ring + shortcuts
+    case 3:
+      return gen::grid_road(17, 17, 0.05, 0.05, 9);  // near-Euclidean
+    case 4:
+      return gen::planted_partition(300, 5, 8.0, 1.0, 11);  // communities
+    default:
+      return gen::barbell_graph(20);  // bridge-dominated
+  }
+}
+
+class Zoo : public ::testing::TestWithParam<int> {
+ protected:
+  CSRGraph g_ = zoo(GetParam());
+};
+
+/// Identity: Σ_v BC(v) = Σ_{unordered pairs s,t} (d(s,t) − 1),
+/// because the pair-dependencies σ_st(v)/σ_st sum to the interior length
+/// of the s-t shortest paths.
+TEST_P(Zoo, VertexBetweennessSumsToInteriorPathLength) {
+  const auto bc = betweenness_centrality(g_);
+  double bc_sum = 0;
+  for (double x : bc.vertex) bc_sum += x;
+  const auto paths = exact_path_length(g_);
+  // paths.average * pairs_sampled counts ordered pairs; halve for unordered.
+  const double interior =
+      (paths.average - 1.0) * static_cast<double>(paths.pairs_sampled) / 2.0;
+  EXPECT_NEAR(bc_sum, interior, 1e-6 * std::max(1.0, interior));
+}
+
+/// Identity: Σ_e BC(e) = Σ_{unordered pairs} d(s,t) — every pair spreads
+/// exactly d(s,t) units of flow over edges.
+TEST_P(Zoo, EdgeBetweennessSumsToTotalPathLength) {
+  const auto bc = betweenness_centrality(g_);
+  double sum = 0;
+  for (double x : bc.edge) sum += x;
+  const auto paths = exact_path_length(g_);
+  const double total =
+      paths.average * static_cast<double>(paths.pairs_sampled) / 2.0;
+  EXPECT_NEAR(sum, total, 1e-6 * std::max(1.0, total));
+}
+
+/// Stress dominates betweenness pointwise (σ_st(v) ≥ σ_st(v)/σ_st).
+TEST_P(Zoo, StressDominatesBetweenness) {
+  const auto bc = betweenness_centrality(g_).vertex;
+  const auto st = stress_centrality(g_);
+  for (vid_t v = 0; v < g_.num_vertices(); ++v)
+    EXPECT_GE(st[static_cast<std::size_t>(v)],
+              bc[static_cast<std::size_t>(v)] - 1e-9);
+}
+
+/// Every bridge belongs to every spanning forest.
+TEST_P(Zoo, BridgesAppearInTheMST) {
+  const auto bcc = biconnected_components(g_);
+  const auto mst = boruvka_mst(g_);
+  std::vector<std::uint8_t> in_mst(static_cast<std::size_t>(g_.num_edges()),
+                                   0);
+  for (eid_t e : mst.tree_edges) in_mst[static_cast<std::size_t>(e)] = 1;
+  for (eid_t e : bcc.bridges())
+    EXPECT_TRUE(in_mst[static_cast<std::size_t>(e)]) << "bridge " << e;
+}
+
+/// Component count from the label-propagation kernel equals n − |forest|.
+TEST_P(Zoo, ComponentsConsistentWithSpanningForest) {
+  const auto comps = connected_components(g_);
+  const auto mst = boruvka_mst(g_);
+  EXPECT_EQ(comps.count, mst.num_trees);
+  EXPECT_EQ(static_cast<eid_t>(mst.tree_edges.size()),
+            static_cast<eid_t>(g_.num_vertices()) - comps.count);
+}
+
+/// Unit-weight delta-stepping distances equal BFS hop distances.
+TEST_P(Zoo, UnitWeightSsspMatchesBfs) {
+  const auto b = bfs_serial(g_, 0);
+  const auto d = delta_stepping(g_, 0);
+  for (vid_t v = 0; v < g_.num_vertices(); ++v) {
+    if (b.dist[static_cast<std::size_t>(v)] < 0) {
+      EXPECT_TRUE(std::isinf(d.dist[static_cast<std::size_t>(v)]));
+    } else {
+      EXPECT_DOUBLE_EQ(
+          d.dist[static_cast<std::size_t>(v)],
+          static_cast<double>(b.dist[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+/// Core numbers are bounded by degree, and the degeneracy bounds the
+/// clique number direction: max core >= largest k with a (k+1)-clique...
+/// here we check the cheap side: core[v] <= deg(v) and degeneracy <= dmax.
+TEST_P(Zoo, CoreNumbersBoundedByDegree) {
+  const auto kc = kcore_decomposition(g_);
+  for (vid_t v = 0; v < g_.num_vertices(); ++v)
+    EXPECT_LE(kc.core[static_cast<std::size_t>(v)], g_.degree(v));
+  EXPECT_LE(kc.degeneracy, g_.max_degree());
+}
+
+/// Relabeling is an isomorphism: BFS distances transfer through the map,
+/// and degree multisets match.
+TEST_P(Zoo, RelabelingPreservesStructure) {
+  for (int mode = 0; mode < 2; ++mode) {
+    const ReorderedGraph r =
+        mode == 0 ? relabel_by_degree(g_) : relabel_by_bfs(g_, 0);
+    ASSERT_EQ(r.graph.num_vertices(), g_.num_vertices());
+    ASSERT_EQ(r.graph.num_edges(), g_.num_edges());
+    // Degrees transfer.
+    for (vid_t nu = 0; nu < r.graph.num_vertices(); ++nu)
+      EXPECT_EQ(r.graph.degree(nu),
+                g_.degree(r.new_to_old[static_cast<std::size_t>(nu)]));
+    // Distances transfer.
+    const vid_t old_src = 0;
+    const vid_t new_src = r.old_to_new[static_cast<std::size_t>(old_src)];
+    const auto d_old = bfs_serial(g_, old_src);
+    const auto d_new = bfs_serial(r.graph, new_src);
+    for (vid_t v = 0; v < g_.num_vertices(); ++v)
+      EXPECT_EQ(d_new.dist[static_cast<std::size_t>(
+                    r.old_to_new[static_cast<std::size_t>(v)])],
+                d_old.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+/// Degree relabeling actually sorts the degrees.
+TEST_P(Zoo, DegreeRelabelIsMonotone) {
+  const auto r = relabel_by_degree(g_);
+  for (vid_t v = 1; v < r.graph.num_vertices(); ++v)
+    EXPECT_LE(r.graph.degree(v), r.graph.degree(v - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Zoo,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Relabel, RejectsNonPermutations) {
+  const auto g = gen::path_graph(4);
+  EXPECT_THROW(relabel(g, {0, 1, 2}), std::invalid_argument);     // short
+  EXPECT_THROW(relabel(g, {0, 1, 2, 2}), std::invalid_argument);  // dup
+  EXPECT_THROW(relabel(g, {0, 1, 2, 9}), std::invalid_argument);  // range
+}
+
+}  // namespace
+}  // namespace snap

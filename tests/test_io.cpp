@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "snap/gen/generators.hpp"
+#include "snap/io/binary_io.hpp"
+#include "snap/io/dimacs_io.hpp"
+#include "snap/io/edge_list_io.hpp"
+#include "snap/io/metis_io.hpp"
+
+namespace snap {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / ("snap_io_" + name))
+        .string();
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::filesystem::remove(p);
+  }
+  std::string track(const std::string& p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+void expect_same_graph(const CSRGraph& a, const CSRGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (const Edge& e : a.edges()) {
+    EXPECT_TRUE(b.has_edge(e.u, e.v)) << e.u << "-" << e.v;
+  }
+}
+
+TEST_F(IoTest, EdgeListRoundtrip) {
+  const auto g = gen::karate_club();
+  const auto p = track(path("karate.txt"));
+  io::write_edge_list(g, p);
+  const auto back = io::read_edge_list_graph(p, /*directed=*/false);
+  expect_same_graph(g, back);
+}
+
+TEST_F(IoTest, EdgeListParsesCommentsAndWeights) {
+  const auto p = track(path("mini.txt"));
+  {
+    std::ofstream out(p);
+    out << "# a comment\n# nodes: 6\n0 1 2.5\n1 2\n";
+  }
+  const auto parsed = io::read_edge_list(p);
+  EXPECT_EQ(parsed.n, 6);
+  ASSERT_EQ(parsed.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.edges[0].w, 2.5);
+  EXPECT_DOUBLE_EQ(parsed.edges[1].w, 1.0);
+}
+
+TEST_F(IoTest, EdgeListMissingFileThrows) {
+  EXPECT_THROW(io::read_edge_list("/nonexistent/file.txt"),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsRoundtrip) {
+  EdgeList edges{{0, 1, 3.0}, {1, 2, 1.0}, {2, 3, 7.0}};
+  const auto g = CSRGraph::from_edges(4, edges, /*directed=*/true);
+  const auto p = track(path("g.dimacs"));
+  io::write_dimacs(g, p);
+  const auto back = io::read_dimacs(p, /*directed=*/true);
+  expect_same_graph(g, back);
+  EXPECT_DOUBLE_EQ(back.total_edge_weight(), 11.0);
+}
+
+TEST_F(IoTest, DimacsMissingHeaderThrows) {
+  const auto p = track(path("bad.dimacs"));
+  {
+    std::ofstream out(p);
+    out << "a 1 2 3\n";
+  }
+  EXPECT_THROW(io::read_dimacs(p), std::runtime_error);
+}
+
+TEST_F(IoTest, MetisRoundtrip) {
+  const auto g = gen::karate_club();
+  const auto p = track(path("karate.graph"));
+  io::write_metis(g, p);
+  const auto back = io::read_metis(p);
+  expect_same_graph(g, back);
+}
+
+TEST_F(IoTest, MetisWeightedRoundtrip) {
+  EdgeList edges{{0, 1, 3.0}, {1, 2, 2.0}};
+  const auto g = CSRGraph::from_edges(3, edges, false);
+  const auto p = track(path("w.graph"));
+  io::write_metis(g, p);
+  const auto back = io::read_metis(p);
+  expect_same_graph(g, back);
+  EXPECT_DOUBLE_EQ(back.total_edge_weight(), 5.0);
+}
+
+TEST_F(IoTest, MetisRejectsDirected) {
+  const auto g =
+      CSRGraph::from_edges(2, {{0, 1, 1.0}}, /*directed=*/true);
+  EXPECT_THROW(io::write_metis(g, path("d.graph")), std::invalid_argument);
+}
+
+TEST_F(IoTest, BinaryRoundtripLarge) {
+  gen::RmatParams rp;
+  rp.scale = 10;
+  rp.edge_factor = 8;
+  const auto g = gen::rmat(rp);
+  const auto p = track(path("rmat.bin"));
+  io::write_binary(g, p);
+  const auto back = io::read_binary(p);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.directed(), g.directed());
+  expect_same_graph(g, back);
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  const auto p = track(path("garbage.bin"));
+  {
+    std::ofstream out(p, std::ios::binary);
+    out << "not a snap binary file at all";
+  }
+  EXPECT_THROW(io::read_binary(p), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryPreservesDirectedness) {
+  const auto g = CSRGraph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}},
+                                      /*directed=*/true);
+  const auto p = track(path("dir.bin"));
+  io::write_binary(g, p);
+  EXPECT_TRUE(io::read_binary(p).directed());
+}
+
+// ----------------------------------------------------- malformed inputs
+
+TEST_F(IoTest, EdgeListGarbageLineThrows) {
+  const auto p = track(path("garbage.txt"));
+  {
+    std::ofstream out(p);
+    out << "0 1\nnot numbers at all\n";
+  }
+  EXPECT_THROW(io::read_edge_list(p), std::runtime_error);
+}
+
+TEST_F(IoTest, MetisTruncatedThrows) {
+  const auto p = track(path("trunc.graph"));
+  {
+    std::ofstream out(p);
+    out << "5 4\n2 3\n";  // promises 5 vertex lines, delivers 1
+  }
+  EXPECT_THROW(io::read_metis(p), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryTruncatedThrows) {
+  const auto g = gen::karate_club();
+  const auto p = track(path("short.bin"));
+  io::write_binary(g, p);
+  // Chop the file in half.
+  const auto full = std::filesystem::file_size(p);
+  std::filesystem::resize_file(p, full / 2);
+  EXPECT_THROW(io::read_binary(p), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyGraphRoundtrips) {
+  const auto g = CSRGraph::from_edges(7, {}, false);
+  const auto p = track(path("empty.txt"));
+  io::write_edge_list(g, p);
+  const auto back = io::read_edge_list_graph(p, false);
+  EXPECT_EQ(back.num_vertices(), 7);
+  EXPECT_EQ(back.num_edges(), 0);
+}
+
+TEST_F(IoTest, LargeIdsSurviveAllFormats) {
+  // Sparse ids near the top of the declared range.
+  EdgeList edges{{99998, 99999, 2.0}, {0, 99999, 1.0}};
+  const auto g = CSRGraph::from_edges(100000, edges, false);
+  const auto p1 = track(path("big.txt"));
+  io::write_edge_list(g, p1);
+  EXPECT_EQ(io::read_edge_list_graph(p1, false).num_edges(), 2);
+  const auto p2 = track(path("big.bin"));
+  io::write_binary(g, p2);
+  EXPECT_EQ(io::read_binary(p2).num_vertices(), 100000);
+}
+
+}  // namespace
+}  // namespace snap

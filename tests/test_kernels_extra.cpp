@@ -1,0 +1,190 @@
+// Tests for the k-core kernel, path-limited BFS, sampled vertex
+// betweenness, and the clustering-comparison measures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/community/compare.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/kcore.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+// ------------------------------------------------------------------ k-core
+
+TEST(KCore, CompleteGraph) {
+  const auto g = gen::complete_graph(6);
+  const auto r = kcore_decomposition(g);
+  for (eid_t c : r.core) EXPECT_EQ(c, 5);
+  EXPECT_EQ(r.degeneracy, 5);
+}
+
+TEST(KCore, PathGraphIsOneCore) {
+  const auto g = gen::path_graph(10);
+  const auto r = kcore_decomposition(g);
+  for (eid_t c : r.core) EXPECT_EQ(c, 1);
+}
+
+TEST(KCore, CliqueWithPendantTail) {
+  // K5 (vertices 0..4) with a path 4-5-6 hanging off.
+  EdgeList edges;
+  for (vid_t u = 0; u < 5; ++u)
+    for (vid_t v = u + 1; v < 5; ++v) edges.push_back({u, v, 1.0});
+  edges.push_back({4, 5, 1.0});
+  edges.push_back({5, 6, 1.0});
+  const auto g = CSRGraph::from_edges(7, edges, false);
+  const auto r = kcore_decomposition(g);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(r.core[v], 4) << v;
+  EXPECT_EQ(r.core[5], 1);
+  EXPECT_EQ(r.core[6], 1);
+  EXPECT_EQ(r.degeneracy, 4);
+  EXPECT_EQ(r.shell_at_least(4).size(), 5u);
+  EXPECT_EQ(r.shell_at_least(1).size(), 7u);
+}
+
+TEST(KCore, StarIsOneCore) {
+  const auto r = kcore_decomposition(gen::star_graph(20));
+  for (eid_t c : r.core) EXPECT_EQ(c, 1);
+}
+
+/// Property: the subgraph induced by {v : core[v] >= k} has min degree >= k.
+class KCoreProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KCoreProperty, ShellInducesMinDegree) {
+  SplitMix64 rng(GetParam());
+  EdgeList edges;
+  const vid_t n = 120;
+  for (int i = 0; i < 400; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(n));
+    const auto v = static_cast<vid_t>(rng.next_bounded(n));
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  const auto g = CSRGraph::from_edges(n, edges, false);
+  const auto r = kcore_decomposition(g);
+  for (eid_t k = 1; k <= r.degeneracy; ++k) {
+    const auto shell = r.shell_at_least(k);
+    std::vector<std::uint8_t> in(static_cast<std::size_t>(n), 0);
+    for (vid_t v : shell) in[static_cast<std::size_t>(v)] = 1;
+    for (vid_t v : shell) {
+      eid_t d = 0;
+      for (vid_t u : g.neighbors(v))
+        if (in[static_cast<std::size_t>(u)]) ++d;
+      EXPECT_GE(d, k) << "vertex " << v << " at k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCoreProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(KCore, DirectedThrows) {
+  const auto g = CSRGraph::from_edges(2, {{0, 1, 1.0}}, /*directed=*/true);
+  EXPECT_THROW(kcore_decomposition(g), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ bounded BFS
+
+TEST(BoundedBfs, StopsAtDepth) {
+  const auto g = gen::path_graph(10);
+  const auto r = bfs_bounded(g, 0, 3);
+  EXPECT_EQ(r.num_visited, 4);  // 0,1,2,3
+  EXPECT_EQ(r.dist[3], 3);
+  EXPECT_EQ(r.dist[4], -1);
+  EXPECT_EQ(r.num_levels, 3);
+}
+
+TEST(BoundedBfs, LargeDepthMatchesFullBfs) {
+  const auto g = gen::erdos_renyi(300, 900, false, 4);
+  const auto full = bfs_serial(g, 0);
+  const auto bounded = bfs_bounded(g, 0, 1 << 20);
+  EXPECT_EQ(bounded.dist, full.dist);
+  EXPECT_EQ(bounded.num_levels, full.num_levels);
+}
+
+TEST(BoundedBfs, DepthZeroIsSourceOnly) {
+  const auto g = gen::cycle_graph(5);
+  const auto r = bfs_bounded(g, 2, 0);
+  EXPECT_EQ(r.num_visited, 1);
+  EXPECT_EQ(r.dist[2], 0);
+  EXPECT_EQ(r.dist[1], -1);
+}
+
+// ---------------------------------------------- sampled vertex betweenness
+
+TEST(ApproxVertexBC, AllSourcesEqualsExact) {
+  const auto g = gen::karate_club();
+  std::vector<vid_t> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), vid_t{0});
+  const auto approx = approx_vertex_betweenness(g, all);
+  const auto exact = betweenness_centrality(g).vertex;
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(approx[v], exact[v], 1e-9);
+}
+
+TEST(ApproxVertexBC, SampledRanksHubFirst) {
+  const auto g = gen::barbell_graph(30);
+  std::vector<vid_t> sources;
+  for (vid_t v = 1; v < g.num_vertices(); v += 7) sources.push_back(v);
+  const auto approx = approx_vertex_betweenness(g, sources);
+  const auto top = static_cast<vid_t>(
+      std::max_element(approx.begin(), approx.end()) - approx.begin());
+  EXPECT_TRUE(top == 29 || top == 30);  // a bridge endpoint
+}
+
+// -------------------------------------------------------- compare measures
+
+TEST(Compare, IdenticalPartitions) {
+  const std::vector<vid_t> a{0, 0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(rand_index(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(Compare, RelabeledPartitionsAreIdentical) {
+  const std::vector<vid_t> a{0, 0, 1, 1, 2};
+  const std::vector<vid_t> b{7, 7, 3, 3, 9};
+  EXPECT_DOUBLE_EQ(rand_index(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+  EXPECT_NEAR(normalized_mutual_information(a, b), 1.0, 1e-12);
+}
+
+TEST(Compare, KnownDisagreement) {
+  const std::vector<vid_t> a{0, 0, 1, 1};
+  const std::vector<vid_t> b{0, 1, 0, 1};
+  // Pairs: (0,1) together-a/apart-b, (2,3) same; (0,2),(1,3) apart-a ...
+  // agreement = 2 of 6 pairs.
+  EXPECT_NEAR(rand_index(a, b), 2.0 / 6.0, 1e-12);
+  EXPECT_LT(adjusted_rand_index(a, b), 0.01);
+}
+
+TEST(Compare, AriNearZeroForRandomLabels) {
+  SplitMix64 rng(5);
+  std::vector<vid_t> a(2000), b(2000);
+  for (auto& x : a) x = static_cast<vid_t>(rng.next_bounded(8));
+  for (auto& x : b) x = static_cast<vid_t>(rng.next_bounded(8));
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.05);
+  EXPECT_NEAR(normalized_mutual_information(a, b), 0.0, 0.05);
+}
+
+TEST(Compare, SizeMismatchThrows) {
+  EXPECT_THROW(rand_index({0, 1}, {0}), std::invalid_argument);
+}
+
+TEST(Compare, RefinementScoresBetweenZeroAndOne) {
+  // b refines a: every cluster of b sits inside a cluster of a.
+  const std::vector<vid_t> a{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<vid_t> b{0, 0, 1, 1, 2, 2, 3, 3};
+  const double ari = adjusted_rand_index(a, b);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+  const double nmi = normalized_mutual_information(a, b);
+  EXPECT_GT(nmi, 0.5);
+  EXPECT_LT(nmi, 1.0);
+}
+
+}  // namespace
+}  // namespace snap

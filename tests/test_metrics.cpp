@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snap/gen/generators.hpp"
+#include "snap/metrics/metrics.hpp"
+#include "snap/metrics/path_length.hpp"
+
+namespace snap {
+namespace {
+
+TEST(Metrics, AverageDegree) {
+  EXPECT_DOUBLE_EQ(average_degree(gen::cycle_graph(10)), 2.0);
+  EXPECT_DOUBLE_EQ(average_degree(gen::complete_graph(5)), 4.0);
+}
+
+TEST(Metrics, DegreeHistogram) {
+  const auto g = gen::star_graph(6);
+  const auto h = degree_histogram(g);
+  ASSERT_EQ(h.size(), 7u);
+  EXPECT_EQ(h[1], 6);
+  EXPECT_EQ(h[6], 1);
+  EXPECT_EQ(h[0], 0);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const auto g = gen::complete_graph(6);
+  const auto cc = local_clustering_coefficients(g);
+  for (double c : cc) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 1.0);
+}
+
+TEST(Clustering, StarIsZero) {
+  const auto g = gen::star_graph(5);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+}
+
+TEST(Clustering, TrianglePlusPendantKnownValues) {
+  // Triangle 0-1-2 with pendant 3 attached to 0.
+  const EdgeList edges{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {0, 3, 1}};
+  const auto g = CSRGraph::from_edges(4, edges, false);
+  const auto cc = local_clustering_coefficients(g);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0 / 3.0);  // one closed of three pairs
+  EXPECT_DOUBLE_EQ(cc[1], 1.0);
+  EXPECT_DOUBLE_EQ(cc[2], 1.0);
+  EXPECT_DOUBLE_EQ(cc[3], 0.0);
+  // Global: 3 triangles' worth of closed wedges / total wedges.
+  // Wedges: v0 has C(3,2)=3, v1 and v2 have 1 each -> 5; closed = 3.
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 3.0 / 5.0);
+}
+
+TEST(RichClub, CompleteGraphAllOnes) {
+  const auto g = gen::complete_graph(5);  // all degrees 4
+  const auto phi = rich_club_coefficients(g);
+  ASSERT_EQ(phi.size(), 5u);
+  for (eid_t k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(phi[k], 1.0);
+  EXPECT_DOUBLE_EQ(phi[4], 0.0);  // no vertices of degree > 4
+}
+
+TEST(RichClub, StarDropsToZero) {
+  const auto g = gen::star_graph(5);  // center degree 5, leaves 1
+  const auto phi = rich_club_coefficients(g);
+  // Degree > 1: only the center -> fewer than 2 vertices -> 0.
+  EXPECT_DOUBLE_EQ(phi[1], 0.0);
+  // Degree > 0: all 6 vertices, 5 edges: phi = 2*5/(6*5) = 1/3.
+  EXPECT_DOUBLE_EQ(phi[0], 1.0 / 3.0);
+}
+
+TEST(Assortativity, StarIsMaximallyDisassortative) {
+  const auto g = gen::star_graph(10);
+  EXPECT_NEAR(assortativity_coefficient(g), -1.0, 1e-9);
+}
+
+TEST(Assortativity, RegularGraphDegenerate) {
+  // All degrees equal: correlation undefined -> defined as 0.
+  const auto g = gen::cycle_graph(10);
+  EXPECT_DOUBLE_EQ(assortativity_coefficient(g), 0.0);
+}
+
+TEST(Assortativity, AssortativeConstruction) {
+  // Two hubs joined to each other plus separate leaf pairs: high-degree
+  // vertices attach to high-degree vertices.
+  EdgeList edges{{0, 1, 1}};                      // hub-hub
+  edges.push_back({0, 2, 1});
+  edges.push_back({0, 3, 1});
+  edges.push_back({1, 4, 1});
+  edges.push_back({1, 5, 1});
+  edges.push_back({6, 7, 1});  // leaf pair
+  const auto g = CSRGraph::from_edges(8, edges, false);
+  const double r = assortativity_coefficient(g);
+  const auto g2 = gen::star_graph(7);
+  EXPECT_GT(r, assortativity_coefficient(g2));
+}
+
+TEST(NeighborConnectivity, StarKnownValues) {
+  const auto g = gen::star_graph(5);
+  const auto knn = average_neighbor_connectivity(g);
+  ASSERT_EQ(knn.size(), 6u);
+  EXPECT_DOUBLE_EQ(knn[1], 5.0);  // leaves see the hub
+  EXPECT_DOUBLE_EQ(knn[5], 1.0);  // hub sees leaves
+}
+
+TEST(PathLength, ExactOnPathGraph) {
+  const auto g = gen::path_graph(4);
+  const auto s = exact_path_length(g);
+  // Pairwise distances (ordered pairs): 1,2,3,1,1,2,2,1,1,3,2,1 -> avg 5/3.
+  EXPECT_NEAR(s.average, 5.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.max_eccentricity, 3);
+}
+
+TEST(PathLength, SampledConvergesToExact) {
+  const auto g = gen::grid_road(12, 12, 0.0, 0.0, 1);
+  const auto exact = exact_path_length(g);
+  const auto sampled = sampled_path_length(g, 60, 5);
+  EXPECT_NEAR(sampled.average, exact.average, exact.average * 0.15);
+  EXPECT_LE(sampled.max_eccentricity, exact.max_eccentricity);
+}
+
+TEST(PathLength, SmallWorldShorterThanLattice) {
+  const auto lattice = gen::watts_strogatz(400, 3, 0.0, 1);
+  const auto rewired = gen::watts_strogatz(400, 3, 0.2, 1);
+  EXPECT_LT(sampled_path_length(rewired, 50, 2).average,
+            sampled_path_length(lattice, 50, 2).average);
+}
+
+TEST(Summary, ReportsConsistentStructure) {
+  std::vector<vid_t> truth;
+  const auto g = gen::planted_partition(500, 5, 10.0, 1.0, 3, &truth);
+  const auto s = summarize(g, 16, 1);
+  EXPECT_EQ(s.n, 500);
+  EXPECT_EQ(s.m, g.num_edges());
+  EXPECT_FALSE(s.directed);
+  EXPECT_NEAR(s.avg_degree, average_degree(g), 1e-12);
+  EXPECT_GE(s.giant_component_size, s.n / 2);
+  EXPECT_GT(s.approx_avg_path_length, 1.0);
+  EXPECT_GE(s.max_degree, static_cast<eid_t>(s.avg_degree));
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "snap/community/modularity.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+TEST(Modularity, OneClusterIsZero) {
+  const auto g = gen::karate_club();
+  const std::vector<vid_t> all_one(34, 0);
+  EXPECT_NEAR(modularity(g, all_one), 0.0, 1e-12);
+}
+
+TEST(Modularity, SingletonsAreNegative) {
+  const auto g = gen::karate_club();
+  std::vector<vid_t> singles(34);
+  for (vid_t v = 0; v < 34; ++v) singles[v] = v;
+  EXPECT_LT(modularity(g, singles), 0.0);
+}
+
+TEST(Modularity, KarateFactionSplitKnownValue) {
+  // The observed two-faction split of the club (Zachary 1977).
+  const auto g = gen::karate_club();
+  std::vector<vid_t> mem(34, 1);
+  for (vid_t v : {0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 19, 21})
+    mem[static_cast<std::size_t>(v)] = 0;
+  const double q = modularity(g, mem);
+  EXPECT_NEAR(q, 0.36, 0.03);  // published value ≈ 0.358
+  EXPECT_GT(q, 0.3);           // "significant community structure" (§2.3)
+}
+
+TEST(Modularity, TwoCliquesSplitBeatsMerged) {
+  const auto g = gen::barbell_graph(6);
+  std::vector<vid_t> split(12, 0);
+  for (vid_t v = 6; v < 12; ++v) split[v] = 1;
+  const std::vector<vid_t> merged(12, 0);
+  EXPECT_GT(modularity(g, split), modularity(g, merged));
+  EXPECT_GT(modularity(g, split), 0.3);  // "significant community structure"
+}
+
+TEST(Modularity, WeightedEdgesChangeScore) {
+  // Same topology, heavier intra-cluster edges -> higher q for the split.
+  EdgeList light{{0, 1, 1.0}, {2, 3, 1.0}, {1, 2, 1.0}};
+  EdgeList heavy{{0, 1, 10.0}, {2, 3, 10.0}, {1, 2, 1.0}};
+  const auto gl = CSRGraph::from_edges(4, light, false);
+  const auto gh = CSRGraph::from_edges(4, heavy, false);
+  const std::vector<vid_t> mem{0, 0, 1, 1};
+  EXPECT_GT(modularity(gh, mem), modularity(gl, mem));
+}
+
+TEST(Modularity, MaskedIgnoresDeadEdges) {
+  const auto g = gen::barbell_graph(4);
+  std::vector<vid_t> split(8, 0);
+  for (vid_t v = 4; v < 8; ++v) split[v] = 1;
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  const double with_bridge = modularity_masked(g, split, alive);
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    if (ed.u == 3 && ed.v == 4) alive[static_cast<std::size_t>(e)] = 0;
+  }
+  const double without = modularity_masked(g, split, alive);
+  // With the inter-cluster bridge gone, the split is perfect: q higher.
+  EXPECT_GT(without, with_bridge);
+}
+
+TEST(Modularity, SparseLabelsAccepted) {
+  const auto g = gen::barbell_graph(4);
+  std::vector<vid_t> mem(8, 3);  // labels {3, 7}, not dense
+  for (vid_t v = 4; v < 8; ++v) mem[v] = 7;
+  std::vector<vid_t> dense(8, 0);
+  for (vid_t v = 4; v < 8; ++v) dense[v] = 1;
+  EXPECT_NEAR(modularity(g, mem), modularity(g, dense), 1e-12);
+}
+
+TEST(Modularity, ParallelMatchesSerial) {
+  // Large enough to trigger the parallel accumulation path.
+  gen::RmatParams p;
+  p.scale = 14;
+  p.edge_factor = 8;
+  const auto g = gen::rmat(p);
+  std::vector<vid_t> mem(static_cast<std::size_t>(g.num_vertices()));
+  SplitMix64 rng(4);
+  for (auto& x : mem) x = static_cast<vid_t>(rng.next_bounded(64));
+  double q_par, q_ser;
+  {
+    parallel::ThreadScope scope(4);
+    q_par = modularity(g, mem);
+  }
+  {
+    parallel::ThreadScope scope(1);
+    q_ser = modularity(g, mem);
+  }
+  EXPECT_NEAR(q_par, q_ser, 1e-9);
+}
+
+TEST(MergeDeltaQ, MatchesDirectRecomputation) {
+  // Property: q(after merging clusters a,b) - q(before) == 2(e_ab - a_a a_b).
+  const auto g = gen::karate_club();
+  const double w2 = 2.0 * g.total_edge_weight();
+  SplitMix64 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<vid_t> mem(34);
+    for (auto& x : mem) x = static_cast<vid_t>(rng.next_bounded(6));
+    const vid_t a = static_cast<vid_t>(rng.next_bounded(6));
+    const vid_t b = (a + 1 + static_cast<vid_t>(rng.next_bounded(5))) % 6;
+    // e_ab and degree fractions.
+    double between = 0, deg_a = 0, deg_b = 0;
+    for (const Edge& e : g.edges()) {
+      const vid_t cu = mem[static_cast<std::size_t>(e.u)];
+      const vid_t cv = mem[static_cast<std::size_t>(e.v)];
+      if ((cu == a && cv == b) || (cu == b && cv == a)) between += e.w;
+      if (cu == a) deg_a += e.w;
+      if (cv == a) deg_a += e.w;
+      if (cu == b) deg_b += e.w;
+      if (cv == b) deg_b += e.w;
+    }
+    const double q_before = modularity(g, mem);
+    std::vector<vid_t> merged = mem;
+    for (auto& x : merged)
+      if (x == b) x = a;
+    const double q_after = modularity(g, merged);
+    const double delta =
+        merge_delta_q(between / w2, deg_a / w2, deg_b / w2);
+    EXPECT_NEAR(q_after - q_before, delta, 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace snap

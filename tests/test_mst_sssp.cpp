@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "snap/ds/union_find.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/kernels/mst.hpp"
+#include "snap/kernels/sssp.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+/// Kruskal reference MST weight.
+weight_t kruskal_weight(const CSRGraph& g) {
+  std::vector<eid_t> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), eid_t{0});
+  std::sort(order.begin(), order.end(), [&](eid_t a, eid_t b) {
+    return g.edge(a).w < g.edge(b).w;
+  });
+  UnionFind uf(static_cast<std::size_t>(g.num_vertices()));
+  weight_t total = 0;
+  for (eid_t e : order) {
+    const Edge ed = g.edge(e);
+    if (uf.unite(ed.u, ed.v)) total += ed.w;
+  }
+  return total;
+}
+
+CSRGraph random_weighted(vid_t n, eid_t m, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  EdgeList edges;
+  for (eid_t i = 0; i < m; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(n));
+    const auto v = static_cast<vid_t>(rng.next_bounded(n));
+    if (u == v) continue;
+    edges.push_back({u, v, 1.0 + static_cast<double>(rng.next_bounded(100))});
+  }
+  return CSRGraph::from_edges(n, edges, false);
+}
+
+TEST(Boruvka, PathGraphTakesAllEdges) {
+  const auto g = gen::path_graph(10);
+  const auto r = boruvka_mst(g);
+  EXPECT_EQ(r.tree_edges.size(), 9u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 9.0);
+  EXPECT_EQ(r.num_trees, 1);
+}
+
+TEST(Boruvka, KnownTinyInstance) {
+  // Square with a cheap diagonal: MST must use the two 1-weight sides and
+  // the 2-weight diagonal.
+  const EdgeList edges{{0, 1, 1.0}, {1, 2, 5.0}, {2, 3, 1.0},
+                       {3, 0, 6.0}, {0, 2, 2.0}};
+  const auto g = CSRGraph::from_edges(4, edges, false);
+  const auto r = boruvka_mst(g);
+  EXPECT_DOUBLE_EQ(r.total_weight, 4.0);
+  EXPECT_EQ(r.tree_edges.size(), 3u);
+}
+
+class BoruvkaRandom
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(BoruvkaRandom, MatchesKruskalWeight) {
+  const auto [seed, threads] = GetParam();
+  parallel::ThreadScope scope(threads);
+  const auto g = random_weighted(300, 1200, seed);
+  const auto r = boruvka_mst(g);
+  EXPECT_DOUBLE_EQ(r.total_weight, kruskal_weight(g));
+  // Forest edge count = n - #trees.
+  EXPECT_EQ(static_cast<vid_t>(r.tree_edges.size()),
+            g.num_vertices() - r.num_trees);
+  // The forest must be acyclic and spanning: re-unite and check.
+  UnionFind uf(static_cast<std::size_t>(g.num_vertices()));
+  for (eid_t e : r.tree_edges) {
+    const Edge ed = g.edge(e);
+    EXPECT_TRUE(uf.unite(ed.u, ed.v)) << "cycle in MST";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, BoruvkaRandom,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(1, 4)));
+
+TEST(Boruvka, DisconnectedForest) {
+  const auto g =
+      CSRGraph::from_edges(5, {{0, 1, 2.0}, {2, 3, 3.0}}, false);
+  const auto r = boruvka_mst(g);
+  EXPECT_EQ(r.num_trees, 3);
+  EXPECT_DOUBLE_EQ(r.total_weight, 5.0);
+}
+
+TEST(SpanningForest, CountsTrees) {
+  const auto g =
+      CSRGraph::from_edges(6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}}, false);
+  const auto r = bfs_spanning_forest(g);
+  EXPECT_EQ(r.num_trees, 3);
+  EXPECT_EQ(r.tree_edges.size(), 3u);
+}
+
+// ------------------------------------------------------------------- SSSP
+
+TEST(Dijkstra, TinyKnown) {
+  const EdgeList edges{{0, 1, 4.0}, {0, 2, 1.0}, {2, 1, 2.0}, {1, 3, 1.0}};
+  const auto g = CSRGraph::from_edges(4, edges, false);
+  const auto r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 3.0);  // via 2
+  EXPECT_DOUBLE_EQ(r.dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 4.0);
+}
+
+class DeltaSteppingRandom
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, double>> {
+};
+
+TEST_P(DeltaSteppingRandom, MatchesDijkstra) {
+  const auto [seed, threads, delta] = GetParam();
+  parallel::ThreadScope scope(threads);
+  const auto g = random_weighted(400, 1600, seed);
+  const auto ref = dijkstra(g, 0);
+  const auto r = delta_stepping(g, 0, delta);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_DOUBLE_EQ(r.dist[v], ref.dist[v]) << "vertex " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeltaSteppingRandom,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u), ::testing::Values(1, 4),
+                       ::testing::Values(0.0, 5.0, 1000.0)));
+
+TEST(DeltaStepping, UnreachableStaysInfinite) {
+  const auto g = CSRGraph::from_edges(4, {{0, 1, 2.0}}, false);
+  const auto r = delta_stepping(g, 0);
+  EXPECT_TRUE(std::isinf(r.dist[2]));
+  EXPECT_EQ(r.parent[2], kInvalidVid);
+}
+
+TEST(DeltaStepping, EveryReachedVertexHasATightPredecessor) {
+  const auto g = random_weighted(200, 800, 77);
+  const auto r = delta_stepping(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == 0 || std::isinf(r.dist[v])) continue;
+    EXPECT_NE(r.parent[v], kInvalidVid);
+    // Shortest-path optimality: some neighbor achieves dist[v] exactly.
+    const auto nb = g.neighbors(v);
+    const auto ws = g.weights(v);
+    bool found = false;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (std::abs(r.dist[nb[i]] + ws[i] - r.dist[v]) < 1e-9) found = true;
+    }
+    EXPECT_TRUE(found) << "vertex " << v;
+  }
+}
+
+TEST(DeltaStepping, UnweightedMatchesBfsDistances) {
+  const auto g = gen::grid_road(20, 20, 0.0, 0.0, 1);
+  const auto r = delta_stepping(g, 0);
+  const auto ref = dijkstra(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_DOUBLE_EQ(r.dist[v], ref.dist[v]);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "snap/gen/generators.hpp"
+#include "snap/partition/coarsen.hpp"
+#include "snap/partition/eval.hpp"
+#include "snap/partition/multilevel.hpp"
+#include "snap/partition/refine_fm.hpp"
+#include "snap/partition/spectral.hpp"
+
+namespace snap {
+namespace {
+
+TEST(Eval, EdgeCutManual) {
+  const auto g = gen::barbell_graph(4);
+  std::vector<std::int32_t> part(8, 0);
+  for (vid_t v = 4; v < 8; ++v) part[v] = 1;
+  EXPECT_EQ(edge_cut(g, part), 1);  // only the bridge crosses
+  std::vector<std::int32_t> bad(8, 0);
+  bad[0] = 1;  // cuts vertex 0's three clique edges
+  EXPECT_EQ(edge_cut(g, bad), 3);
+}
+
+TEST(Eval, ImbalancePerfectAndSkewed) {
+  const auto g = gen::cycle_graph(8);
+  std::vector<std::int32_t> even{0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(imbalance(g, even, 2), 1.0);
+  std::vector<std::int32_t> skew{0, 0, 0, 0, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(imbalance(g, skew, 2), 1.5);
+}
+
+TEST(Eval, ConductanceOfBalancedCut) {
+  const auto g = gen::barbell_graph(4);
+  std::vector<std::int32_t> part(8, 0);
+  for (vid_t v = 4; v < 8; ++v) part[v] = 1;
+  // cut = 1; vol(side) = 2*6 intra + 1 bridge endpoint = 13.
+  EXPECT_NEAR(conductance(g, part, 0), 1.0 / 13.0, 1e-9);
+}
+
+TEST(Coarsen, HalvesVerticesAndPreservesTotalVertexWeight) {
+  const auto g = gen::grid_road(30, 30);
+  std::vector<weight_t> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const auto lvl = coarsen_heavy_edge(g, w, 1);
+  EXPECT_LT(lvl.graph.num_vertices(), g.num_vertices() * 3 / 4);
+  EXPECT_GE(lvl.graph.num_vertices(), g.num_vertices() / 2);
+  weight_t total = 0;
+  for (weight_t x : lvl.vertex_weight) total += x;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(g.num_vertices()));
+  // Every fine vertex maps to a valid coarse vertex.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GE(lvl.fine_to_coarse[static_cast<std::size_t>(v)], 0);
+    ASSERT_LT(lvl.fine_to_coarse[static_cast<std::size_t>(v)],
+              lvl.graph.num_vertices());
+  }
+}
+
+TEST(Coarsen, CutIsPreservedUnderProjection) {
+  // The weight of a coarse cut equals the fine cut of its projection.
+  const auto g = gen::grid_road(20, 20);
+  std::vector<weight_t> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const auto lvl = coarsen_heavy_edge(g, w, 5);
+  std::vector<std::int32_t> cpart(
+      static_cast<std::size_t>(lvl.graph.num_vertices()));
+  for (vid_t v = 0; v < lvl.graph.num_vertices(); ++v)
+    cpart[static_cast<std::size_t>(v)] = v % 2;
+  std::vector<std::int32_t> fpart(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    fpart[static_cast<std::size_t>(v)] = cpart[static_cast<std::size_t>(
+        lvl.fine_to_coarse[static_cast<std::size_t>(v)])];
+  EXPECT_EQ(edge_cut(lvl.graph, cpart), edge_cut(g, fpart));
+}
+
+TEST(FmRefine, ImprovesARandomBisection) {
+  const auto g = gen::grid_road(20, 20, 0.0, 0.0, 1);
+  std::vector<weight_t> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  std::vector<std::int8_t> side(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    side[static_cast<std::size_t>(v)] = static_cast<std::int8_t>(v % 2);
+  std::vector<std::int32_t> before(side.begin(), side.end());
+  const weight_t cut_before = edge_cut(g, before);
+  fm_refine_bisection(g, w, side, 1.05, 8);
+  std::vector<std::int32_t> after(side.begin(), side.end());
+  EXPECT_LT(edge_cut(g, after), cut_before / 2);
+  EXPECT_LE(imbalance(g, after, 2), 1.06);
+}
+
+TEST(Multilevel, GridBisectionIsNearOptimal) {
+  // 32x32 grid: the optimal balanced bisection cut is 32.
+  const auto g = gen::grid_road(32, 32, 0.0, 0.0, 1);
+  const auto r = multilevel_recursive_bisection(g, 2);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.edge_cut, 3 * 32);
+  EXPECT_LE(r.imbalance, 1.06);
+  // Both parts non-empty and labels within range.
+  std::set<std::int32_t> used(r.part.begin(), r.part.end());
+  EXPECT_EQ(used.size(), 2u);
+}
+
+class KWayMultilevel : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(KWayMultilevel, RecursiveAndKwayProduceBalancedPartitions) {
+  const std::int32_t k = GetParam();
+  const auto g = gen::grid_road(40, 40);
+  for (const auto& r :
+       {multilevel_recursive_bisection(g, k), multilevel_kway(g, k)}) {
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.k, k);
+    EXPECT_LE(r.imbalance, 1.35) << "k=" << k;
+    std::set<std::int32_t> used(r.part.begin(), r.part.end());
+    EXPECT_EQ(used.size(), static_cast<std::size_t>(k));
+    for (std::int32_t p : r.part) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KWayMultilevel, ::testing::Values(2, 4, 8, 32));
+
+TEST(Multilevel, KwayStaysBalancedOnSkewedGraphs) {
+  // Regression test: the k-way initial partition must balance coarse vertex
+  // *weights*; balancing coarse-vertex counts left RMAT partitions with a
+  // 6x overload on one part.
+  gen::RmatParams p;
+  p.scale = 13;
+  p.edge_factor = 4;
+  const auto g = gen::rmat(p);
+  const auto r = multilevel_kway(g, 8);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.imbalance, 1.3);
+}
+
+TEST(Multilevel, RoadVsRandomCutGap) {
+  // The Table 1 phenomenon, in miniature: a multilevel partitioner cuts a
+  // road network cheaply but must cut a sizable fraction of a random
+  // graph's edges.
+  const auto road = gen::grid_road(64, 64);
+  const auto rnd = gen::erdos_renyi(4096, 20480, false, 3);
+  const auto r_road = multilevel_kway(road, 8);
+  const auto r_rnd = multilevel_kway(rnd, 8);
+  EXPECT_GT(static_cast<double>(r_rnd.edge_cut),
+            10.0 * static_cast<double>(r_road.edge_cut));
+}
+
+TEST(Spectral, FiedlerVectorSignSplitsAPath) {
+  const auto g = gen::path_graph(40);
+  std::vector<double> f;
+  ASSERT_TRUE(fiedler_vector(g, SpectralMethod::kLanczos, {}, f));
+  // The Fiedler vector of a path is monotone: signs split it in the middle.
+  int flips = 0;
+  for (std::size_t i = 1; i < f.size(); ++i)
+    if ((f[i] > 0) != (f[i - 1] > 0)) ++flips;
+  EXPECT_EQ(flips, 1);
+}
+
+TEST(Spectral, BarbellBisectionCutsBridge) {
+  const auto g = gen::barbell_graph(10);
+  const auto r = spectral_partition(g, 2, SpectralMethod::kLanczos);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.edge_cut, 1);
+  EXPECT_DOUBLE_EQ(r.imbalance, 1.0);
+}
+
+TEST(Spectral, GridRecursive8Way) {
+  const auto g = gen::grid_road(24, 24, 0.0, 0.0, 1);
+  const auto r = spectral_partition(g, 8, SpectralMethod::kLanczos);
+  ASSERT_TRUE(r.success) << r.note;
+  EXPECT_LE(r.imbalance, 1.25);
+  EXPECT_LT(r.edge_cut, g.num_edges() / 4);
+}
+
+TEST(Spectral, RqiConvergesOnStructuredGraph) {
+  const auto g = gen::barbell_graph(12);
+  SpectralParams p;
+  const auto r = spectral_partition(g, 2, SpectralMethod::kRQI, p);
+  if (r.success) {
+    EXPECT_LE(r.edge_cut, 4);
+  } else {
+    // RQI is allowed to fail (Table 1 shows Chaco-RQI failing); it must
+    // report it rather than return garbage.
+    EXPECT_FALSE(r.note.empty());
+  }
+}
+
+TEST(Spectral, FailureIsReportedNotSilent) {
+  // A tiny iteration budget must produce an explicit failure.
+  const auto g = gen::erdos_renyi(500, 2500, false, 1);
+  SpectralParams p;
+  p.lanczos_max_iters = 2;
+  p.tol = 1e-12;
+  p.loose_tol = 0;  // demand full convergence
+  const auto r = spectral_partition(g, 2, SpectralMethod::kLanczos, p);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.note.empty());
+}
+
+TEST(Partition, KEqualsOneIsWholeGraph) {
+  const auto g = gen::cycle_graph(10);
+  const auto r = multilevel_kway(g, 1);
+  EXPECT_EQ(r.edge_cut, 0);
+  for (std::int32_t p : r.part) EXPECT_EQ(p, 0);
+}
+
+}  // namespace
+}  // namespace snap

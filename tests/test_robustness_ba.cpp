@@ -1,0 +1,130 @@
+// Tests for the Barabási–Albert generator, the robustness/lethality
+// profile, and GraphML export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "snap/gen/generators.hpp"
+#include "snap/io/graphml_io.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/metrics/metrics.hpp"
+#include "snap/metrics/robustness.hpp"
+
+namespace snap {
+namespace {
+
+// ------------------------------------------------------- Barabási–Albert
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  const auto g = gen::barabasi_albert(2000, 3, 7);
+  EXPECT_EQ(g.num_vertices(), 2000);
+  // m per vertex edges for most vertices plus the seed clique.
+  EXPECT_GE(g.num_edges(), 3 * (2000 - 4));
+  EXPECT_LE(g.num_edges(), 3 * 2000 + 10);
+  EXPECT_EQ(connected_components(g).count, 1);  // attachment keeps it whole
+}
+
+TEST(BarabasiAlbert, PowerLawSkew) {
+  const auto g = gen::barabasi_albert(4000, 3, 9);
+  // The oldest/richest vertices become hubs: max degree far above mean.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 8.0 * average_degree(g));
+  // And degree-1.. small-degree vertices dominate.
+  const auto hist = degree_histogram(g);
+  eid_t small = 0;
+  for (std::size_t d = 0; d < std::min<std::size_t>(hist.size(), 7); ++d)
+    small += hist[d];
+  EXPECT_GT(small, g.num_vertices() / 2);
+}
+
+TEST(BarabasiAlbert, Deterministic) {
+  const auto a = gen::barabasi_albert(300, 2, 5);
+  const auto b = gen::barabasi_albert(300, 2, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (const Edge& e : a.edges()) EXPECT_TRUE(b.has_edge(e.u, e.v));
+}
+
+// ------------------------------------------------------------- robustness
+
+TEST(Robustness, ProfileShapeOnIntactGraph) {
+  const auto g = gen::cycle_graph(100);
+  const auto order = attack_order_random(g, 1);
+  const auto p = robustness_profile(g, order, 10);
+  ASSERT_EQ(p.giant_fraction.size(), 11u);
+  EXPECT_DOUBLE_EQ(p.fraction_removed.front(), 0.0);
+  EXPECT_DOUBLE_EQ(p.giant_fraction.front(), 1.0);  // intact cycle
+  EXPECT_DOUBLE_EQ(p.fraction_removed.back(), 1.0);
+  EXPECT_DOUBLE_EQ(p.giant_fraction.back(), 0.0);
+  // Monotone non-increasing giant fraction.
+  for (std::size_t i = 1; i < p.giant_fraction.size(); ++i)
+    EXPECT_LE(p.giant_fraction[i], p.giant_fraction[i - 1] + 1e-12);
+}
+
+TEST(Robustness, HubAttackBeatsRandomFailureOnScaleFree) {
+  // The classic Albert–Jeong–Barabási result (the lethality application of
+  // §2.1): scale-free networks are robust to random failure, fragile to
+  // targeted hub removal.
+  const auto g = gen::barabasi_albert(2000, 2, 3);
+  const auto targeted =
+      robustness_profile(g, attack_order_by_degree(g), 20).index();
+  const auto random =
+      robustness_profile(g, attack_order_random(g, 5), 20).index();
+  EXPECT_LT(targeted, random - 0.05);
+}
+
+TEST(Robustness, StarCollapsesOnFirstTargetedRemoval) {
+  const auto g = gen::star_graph(99);  // n = 100
+  const auto p = robustness_profile(g, attack_order_by_degree(g), 100);
+  // After removing the hub (first 1%), the giant drops to a single vertex.
+  EXPECT_DOUBLE_EQ(p.giant_fraction[0], 1.0);
+  EXPECT_NEAR(p.giant_fraction[1], 0.01, 1e-9);
+}
+
+TEST(Robustness, EmptyGraph) {
+  const auto g = CSRGraph::from_edges(0, {}, false);
+  const auto p = robustness_profile(g, {}, 5);
+  EXPECT_TRUE(p.giant_fraction.empty());
+  EXPECT_DOUBLE_EQ(p.index(), 0.0);
+}
+
+// ---------------------------------------------------------------- GraphML
+
+TEST(GraphML, WritesWellFormedStructure) {
+  const auto g = gen::karate_club();
+  const auto p =
+      (std::filesystem::temp_directory_path() / "k.graphml").string();
+  std::vector<vid_t> labels(static_cast<std::size_t>(g.num_vertices()), 0);
+  labels[33] = 1;
+  io::write_graphml(g, p, labels);
+  std::ifstream in(p);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string xml = ss.str();
+  // One node element per vertex, one edge element per logical edge.
+  std::size_t nodes = 0, edges = 0, pos = 0;
+  while ((pos = xml.find("<node ", pos)) != std::string::npos) {
+    ++nodes;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = xml.find("<edge ", pos)) != std::string::npos) {
+    ++edges;
+    ++pos;
+  }
+  EXPECT_EQ(nodes, 34u);
+  EXPECT_EQ(edges, 78u);
+  EXPECT_NE(xml.find("edgedefault=\"undirected\""), std::string::npos);
+  EXPECT_NE(xml.find("<data key=\"c\">1</data>"), std::string::npos);
+  EXPECT_NE(xml.find("</graphml>"), std::string::npos);
+  std::filesystem::remove(p);
+}
+
+TEST(GraphML, LabelSizeMismatchThrows) {
+  const auto g = gen::path_graph(3);
+  EXPECT_THROW(io::write_graphml(g, "/tmp/x.graphml", {0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,206 @@
+// Tests for st-connectivity, stress centrality, double-sweep diameter and
+// Pajek I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/centrality/stress.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/io/pajek_io.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/st_connectivity.hpp"
+#include "snap/metrics/path_length.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+// -------------------------------------------------------- st-connectivity
+
+TEST(StConnectivity, PathEndpoints) {
+  const auto g = gen::path_graph(10);
+  const auto r = st_connectivity(g, 0, 9);
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.distance, 9);
+}
+
+TEST(StConnectivity, SameVertex) {
+  const auto g = gen::cycle_graph(5);
+  const auto r = st_connectivity(g, 3, 3);
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.distance, 0);
+}
+
+TEST(StConnectivity, DisconnectedPair) {
+  const auto g = CSRGraph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}}, false);
+  const auto r = st_connectivity(g, 0, 3);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.distance, -1);
+}
+
+TEST(StConnectivity, TouchesFewerVerticesThanFullBfsOnHubGraph) {
+  // Two stars joined hub-to-hub: bidirectional search meets at the hubs
+  // without expanding either full leaf set twice.
+  EdgeList edges;
+  for (vid_t v = 2; v < 1000; ++v) edges.push_back({v % 2, v, 1.0});
+  edges.push_back({0, 1, 1.0});
+  const auto g = CSRGraph::from_edges(1000, edges, false);
+  const auto r = st_connectivity(g, 2, 3);  // leaf of hub0 to leaf of hub1
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.distance, 3);
+}
+
+class StConnectivityProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(StConnectivityProperty, MatchesBfsDistances) {
+  SplitMix64 rng(GetParam());
+  const vid_t n = 300;
+  EdgeList edges;
+  for (int i = 0; i < 700; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(n));
+    const auto v = static_cast<vid_t>(rng.next_bounded(n));
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  const auto g = CSRGraph::from_edges(n, edges, false);
+  const auto ref = bfs_serial(g, 0);
+  for (vid_t t = 0; t < n; t += 7) {
+    const auto r = st_connectivity(g, 0, t);
+    if (ref.dist[static_cast<std::size_t>(t)] < 0) {
+      EXPECT_FALSE(r.connected) << "t=" << t;
+    } else {
+      ASSERT_TRUE(r.connected) << "t=" << t;
+      EXPECT_EQ(r.distance, ref.dist[static_cast<std::size_t>(t)])
+          << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StConnectivityProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(StConnectivity, DirectedThrows) {
+  const auto g = CSRGraph::from_edges(2, {{0, 1, 1.0}}, /*directed=*/true);
+  EXPECT_THROW(st_connectivity(g, 0, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------- stress centrality
+
+TEST(Stress, PathMiddleVertex) {
+  const auto g = gen::path_graph(3);
+  const auto s = stress_centrality(g);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);  // one path 0-2 through 1
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(Stress, StarCenterCountsAllPairs) {
+  const auto g = gen::star_graph(6);
+  const auto s = stress_centrality(g);
+  EXPECT_DOUBLE_EQ(s[0], 15.0);  // C(6,2) single paths
+}
+
+TEST(Stress, DiamondCountsWholePathsNotFractions) {
+  // 0-1-3 and 0-2-3: betweenness gives each middle vertex 0.5, stress 1.
+  const EdgeList edges{{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}};
+  const auto g = CSRGraph::from_edges(4, edges, false);
+  const auto s = stress_centrality(g);
+  const auto bc = betweenness_centrality(g).vertex;
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+}
+
+TEST(Stress, AgreesWithBetweennessWhenPathsUnique) {
+  // On a tree every shortest path is unique, so stress == betweenness.
+  SplitMix64 rng(3);
+  EdgeList edges;
+  for (vid_t v = 1; v < 60; ++v)
+    edges.push_back(
+        {static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(v))),
+         v, 1.0});
+  const auto g = CSRGraph::from_edges(60, edges, false);
+  const auto s = stress_centrality(g);
+  const auto bc = betweenness_centrality(g).vertex;
+  for (vid_t v = 0; v < 60; ++v) EXPECT_NEAR(s[v], bc[v], 1e-9) << v;
+}
+
+// --------------------------------------------------- double-sweep diameter
+
+TEST(DoubleSweep, ExactOnPath) {
+  EXPECT_EQ(double_sweep_diameter(gen::path_graph(50)), 49);
+}
+
+TEST(DoubleSweep, ExactOnTrees) {
+  SplitMix64 rng(11);
+  EdgeList edges;
+  for (vid_t v = 1; v < 200; ++v)
+    edges.push_back(
+        {static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(v))),
+         v, 1.0});
+  const auto g = CSRGraph::from_edges(200, edges, false);
+  EXPECT_EQ(double_sweep_diameter(g), exact_path_length(g).max_eccentricity);
+}
+
+TEST(DoubleSweep, LowerBoundsExactDiameter) {
+  const auto g = gen::erdos_renyi(500, 1500, false, 9);
+  const auto exact = exact_path_length(g).max_eccentricity;
+  const auto ds = double_sweep_diameter(g, 4, 2);
+  EXPECT_LE(ds, exact);
+  EXPECT_GE(ds, exact / 2);  // double sweep is at least half the diameter
+}
+
+// ----------------------------------------------------------------- Pajek
+
+TEST(Pajek, UndirectedRoundtrip) {
+  const auto g = gen::karate_club();
+  const auto p = (std::filesystem::temp_directory_path() / "k.net").string();
+  io::write_pajek(g, p);
+  const auto back = io::read_pajek(p);
+  EXPECT_FALSE(back.directed());
+  EXPECT_EQ(back.num_vertices(), 34);
+  EXPECT_EQ(back.num_edges(), 78);
+  for (const Edge& e : g.edges()) EXPECT_TRUE(back.has_edge(e.u, e.v));
+  std::filesystem::remove(p);
+}
+
+TEST(Pajek, DirectedRoundtrip) {
+  const auto g = CSRGraph::from_edges(3, {{0, 1, 2.5}, {2, 1, 1.0}},
+                                      /*directed=*/true);
+  const auto p = (std::filesystem::temp_directory_path() / "d.net").string();
+  io::write_pajek(g, p);
+  const auto back = io::read_pajek(p);
+  EXPECT_TRUE(back.directed());
+  EXPECT_TRUE(back.has_edge(0, 1));
+  EXPECT_FALSE(back.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(back.total_edge_weight(), 3.5);
+  std::filesystem::remove(p);
+}
+
+TEST(Pajek, MissingVerticesHeaderThrows) {
+  const auto p = (std::filesystem::temp_directory_path() / "bad.net").string();
+  {
+    std::ofstream out(p);
+    out << "*Edges\n1 2\n";
+  }
+  EXPECT_THROW(io::read_pajek(p), std::runtime_error);
+  std::filesystem::remove(p);
+}
+
+TEST(Pajek, SkipsCommentsAndOtherSections) {
+  const auto p = (std::filesystem::temp_directory_path() / "c.net").string();
+  {
+    std::ofstream out(p);
+    out << "% a comment\n*Vertices 3\n1 \"a\"\n2 \"b\"\n3 \"c\"\n"
+           "*Partition junk\n1\n2\n*Edges\n1 2 2.0\n2 3\n";
+  }
+  const auto g = io::read_pajek(p);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+  std::filesystem::remove(p);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "snap/ds/treap.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+std::vector<std::int64_t> sorted_of(const std::set<std::int64_t>& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Treap, InsertContainsErase) {
+  Treap t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));
+  EXPECT_TRUE(t.insert(3));
+  EXPECT_TRUE(t.insert(9));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_FALSE(t.contains(4));
+  EXPECT_TRUE(t.erase(3));
+  EXPECT_FALSE(t.erase(3));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.contains(3));
+}
+
+TEST(Treap, InOrderTraversalSorted) {
+  Treap t;
+  for (std::int64_t k : {9, 1, 7, 3, 5, 2, 8}) t.insert(k);
+  const auto v = t.to_vector();
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(v.size(), 7u);
+}
+
+TEST(Treap, LowerBound) {
+  Treap t;
+  for (std::int64_t k : {10, 20, 30}) t.insert(k);
+  std::int64_t out = 0;
+  ASSERT_TRUE(t.lower_bound(15, out));
+  EXPECT_EQ(out, 20);
+  ASSERT_TRUE(t.lower_bound(20, out));
+  EXPECT_EQ(out, 20);
+  EXPECT_FALSE(t.lower_bound(31, out));
+}
+
+TEST(Treap, SplitPartitionsKeys) {
+  Treap t;
+  for (std::int64_t k = 0; k < 100; ++k) t.insert(k);
+  Treap hi = t.split(40);
+  EXPECT_EQ(t.size(), 40u);
+  EXPECT_EQ(hi.size(), 60u);
+  for (std::int64_t k = 0; k < 40; ++k) EXPECT_TRUE(t.contains(k));
+  for (std::int64_t k = 40; k < 100; ++k) EXPECT_TRUE(hi.contains(k));
+}
+
+TEST(Treap, FromSortedBuildsValidTreap) {
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 500; k += 2) keys.push_back(k);
+  Treap t = Treap::from_sorted(keys);
+  EXPECT_EQ(t.size(), keys.size());
+  EXPECT_TRUE(t.contains(0));
+  EXPECT_TRUE(t.contains(498));
+  EXPECT_FALSE(t.contains(3));
+  EXPECT_EQ(t.to_vector(), keys);
+  // It must behave like a normal treap afterwards.
+  EXPECT_TRUE(t.insert(3));
+  EXPECT_TRUE(t.erase(0));
+  EXPECT_EQ(t.to_vector().size(), keys.size());
+}
+
+class TreapRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreapRandomOps, MatchesStdSetReference) {
+  SplitMix64 rng(GetParam());
+  Treap t;
+  std::set<std::int64_t> ref;
+  for (int op = 0; op < 5000; ++op) {
+    const auto key = static_cast<std::int64_t>(rng.next_bounded(300));
+    switch (rng.next_bounded(3)) {
+      case 0:
+        EXPECT_EQ(t.insert(key), ref.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(t.erase(key), ref.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(t.contains(key), ref.count(key) > 0);
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+  EXPECT_EQ(t.to_vector(), sorted_of(ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreapRandomOps,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class TreapSetOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreapSetOps, UnionMatchesReference) {
+  SplitMix64 rng(GetParam());
+  Treap a, b;
+  std::set<std::int64_t> ra, rb;
+  for (int i = 0; i < 400; ++i) {
+    const auto ka = static_cast<std::int64_t>(rng.next_bounded(500));
+    const auto kb = static_cast<std::int64_t>(rng.next_bounded(500));
+    a.insert(ka);
+    ra.insert(ka);
+    b.insert(kb);
+    rb.insert(kb);
+  }
+  std::set<std::int64_t> ru = ra;
+  ru.insert(rb.begin(), rb.end());
+  a.union_with(std::move(b));
+  EXPECT_EQ(a.to_vector(), sorted_of(ru));
+  EXPECT_EQ(a.size(), ru.size());
+}
+
+TEST_P(TreapSetOps, IntersectionMatchesReference) {
+  SplitMix64 rng(GetParam() + 100);
+  Treap a, b;
+  std::set<std::int64_t> ra, rb;
+  for (int i = 0; i < 400; ++i) {
+    const auto ka = static_cast<std::int64_t>(rng.next_bounded(300));
+    const auto kb = static_cast<std::int64_t>(rng.next_bounded(300));
+    a.insert(ka);
+    ra.insert(ka);
+    b.insert(kb);
+    rb.insert(kb);
+  }
+  std::set<std::int64_t> ri;
+  std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::inserter(ri, ri.begin()));
+  a.intersect_with(std::move(b));
+  EXPECT_EQ(a.to_vector(), sorted_of(ri));
+}
+
+TEST_P(TreapSetOps, DifferenceMatchesReference) {
+  SplitMix64 rng(GetParam() + 200);
+  Treap a, b;
+  std::set<std::int64_t> ra, rb;
+  for (int i = 0; i < 400; ++i) {
+    const auto ka = static_cast<std::int64_t>(rng.next_bounded(300));
+    const auto kb = static_cast<std::int64_t>(rng.next_bounded(300));
+    a.insert(ka);
+    ra.insert(ka);
+    b.insert(kb);
+    rb.insert(kb);
+  }
+  std::set<std::int64_t> rd;
+  std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                      std::inserter(rd, rd.begin()));
+  a.difference_with(std::move(b));
+  EXPECT_EQ(a.to_vector(), sorted_of(rd));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreapSetOps, ::testing::Values(11, 22, 33));
+
+TEST(Treap, MoveSemantics) {
+  Treap a;
+  for (std::int64_t k = 0; k < 10; ++k) a.insert(k);
+  Treap b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT: moved-from is valid-empty by design
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(Treap, ClearEmpties) {
+  Treap t;
+  for (std::int64_t k = 0; k < 100; ++k) t.insert(k);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.insert(5));
+}
+
+TEST(Treap, LargeScaleStress) {
+  Treap t;
+  for (std::int64_t k = 0; k < 50000; ++k) t.insert(k * 7919 % 100003);
+  EXPECT_EQ(t.size(), 50000u);
+  const auto v = t.to_vector();
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "snap/util/bitmap.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+#include "snap/util/timer.hpp"
+
+namespace snap {
+namespace {
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.next_bounded(17);
+    EXPECT_LT(x, 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  SplitMix64 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentlyDeterministic) {
+  SplitMix64 base(9);
+  SplitMix64 f1 = base.fork(5);
+  SplitMix64 f2 = base.fork(5);
+  SplitMix64 f3 = base.fork(6);
+  EXPECT_EQ(f1(), f2());
+  EXPECT_NE(f1(), f3());
+}
+
+class PrefixSumTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixSumTest, MatchesSerialReference) {
+  const std::size_t n = GetParam();
+  SplitMix64 rng(n);
+  std::vector<std::int64_t> in(n);
+  for (auto& x : in) x = static_cast<std::int64_t>(rng.next_bounded(100));
+  std::vector<std::int64_t> out;
+  parallel::exclusive_prefix_sum(in, out);
+  ASSERT_EQ(out.size(), n + 1);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], acc) << "at " << i;
+    acc += in[i];
+  }
+  EXPECT_EQ(out[n], acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSumTest,
+                         ::testing::Values(0, 1, 2, 100, 4095, 4096, 4097,
+                                           100000));
+
+TEST(Parallel, ReduceSum) {
+  const std::int64_t n = 10000;
+  const auto total = parallel::parallel_reduce_sum<std::int64_t>(
+      n, [](std::int64_t i) { return i; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(Parallel, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel::parallel_for(std::int64_t{1000}, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, AtomicFetchMaxMin) {
+  std::atomic<std::int64_t> mx{0}, mn{100};
+  parallel::parallel_for(std::int64_t{1000}, [&](std::int64_t i) {
+    parallel::atomic_fetch_max(mx, i);
+    parallel::atomic_fetch_min(mn, i);
+  });
+  EXPECT_EQ(mx.load(), 999);
+  EXPECT_EQ(mn.load(), 0);
+}
+
+TEST(Parallel, AtomicAddDouble) {
+  std::atomic<double> acc{0};
+  parallel::parallel_for(std::int64_t{1000},
+                         [&](std::int64_t) { parallel::atomic_add(acc, 0.5); });
+  EXPECT_DOUBLE_EQ(acc.load(), 500.0);
+}
+
+TEST(Parallel, ThreadScopeRestores) {
+  const int before = parallel::num_threads();
+  {
+    parallel::ThreadScope scope(1);
+    EXPECT_EQ(parallel::num_threads(), 1);
+  }
+  EXPECT_EQ(parallel::num_threads(), before);
+}
+
+TEST(Bitmap, TestAndSetFlipsOnce) {
+  AtomicBitmap bm(200);
+  EXPECT_FALSE(bm.test(5));
+  EXPECT_TRUE(bm.test_and_set(5));
+  EXPECT_FALSE(bm.test_and_set(5));
+  EXPECT_TRUE(bm.test(5));
+}
+
+TEST(Bitmap, ConcurrentSetExactlyOneWinner) {
+  AtomicBitmap bm(64);
+  std::atomic<int> winners{0};
+  parallel::parallel_for(std::int64_t{1000}, [&](std::int64_t) {
+    if (bm.test_and_set(7)) winners.fetch_add(1);
+  });
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(Bitmap, ClearResets) {
+  AtomicBitmap bm(100);
+  bm.set(63);
+  bm.set(64);
+  bm.clear();
+  EXPECT_FALSE(bm.test(63));
+  EXPECT_FALSE(bm.test(64));
+}
+
+TEST(Timer, MeasuresNonNegativeAndResets) {
+  WallTimer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GT(t.elapsed_s(), 0.0);
+  t.reset();
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace snap
