@@ -5,6 +5,9 @@
 // distribution" — compare the paired timings.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "snap/centrality/betweenness.hpp"
 #include "snap/community/modularity.hpp"
@@ -38,12 +41,61 @@ const CSRGraph& er_instance() {
   return g;
 }
 
-const CSRGraph& pick(bool skewed) {
-  return skewed ? rmat_instance() : er_instance();
+const CSRGraph& ws_instance() {
+  static const CSRGraph g =
+      gen::watts_strogatz(vid_t{1} << kScale, 8, 0.05, 7);
+  return g;
+}
+
+// 0 = Erdős–Rényi, 1 = R-MAT (skewed), 2 = Watts–Strogatz.
+const CSRGraph& pick(int which) {
+  switch (which) {
+    case 1:
+      return rmat_instance();
+    case 2:
+      return ws_instance();
+    default:
+      return er_instance();
+  }
+}
+
+const char* graph_name(int which) {
+  switch (which) {
+    case 1:
+      return "rmat";
+    case 2:
+      return "ws";
+    default:
+      return "er";
+  }
+}
+
+/// One-time per-level audit of the hybrid engine's push/pull decisions on
+/// each bench instance — the direction-optimizing analogue of Fig. 2's
+/// per-kernel breakdown.
+void report_hybrid_trace(int which) {
+  static bool done[3] = {false, false, false};
+  if (done[which]) return;
+  done[which] = true;
+  const CSRGraph& g = pick(which);
+  std::vector<BfsLevelStats> trace;
+  bfs_hybrid(g, 0, {}, &trace);
+  std::fprintf(stderr,
+               "# hybrid BFS levels on %s (n=%lld, arcs=%lld):\n"
+               "#   level  mode  frontier_verts  frontier_arcs  discovered\n",
+               graph_name(which), static_cast<long long>(g.num_vertices()),
+               static_cast<long long>(g.num_arcs()));
+  for (const auto& lv : trace) {
+    std::fprintf(stderr, "#   %5lld  %s  %14lld  %13lld  %10lld\n",
+                 static_cast<long long>(lv.level), lv.pull ? "pull" : "push",
+                 static_cast<long long>(lv.frontier_vertices),
+                 static_cast<long long>(lv.frontier_arcs),
+                 static_cast<long long>(lv.discovered));
+  }
 }
 
 void BM_BFS(benchmark::State& state) {
-  const CSRGraph& g = pick(state.range(0) != 0);
+  const CSRGraph& g = pick(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(bfs(g, 0));
   }
@@ -51,15 +103,47 @@ void BM_BFS(benchmark::State& state) {
       static_cast<double>(g.num_arcs()) * 1e-6,
       benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_BFS)->Arg(0)->Arg(1)->ArgName("rmat");
+BENCHMARK(BM_BFS)->Arg(0)->Arg(1)->Arg(2)->ArgName("graph");
+
+void BM_BFSPush(benchmark::State& state) {
+  // The paper's original arc-balanced push-only BFS: the baseline the
+  // direction-optimizing engine is measured against.
+  const CSRGraph& g = pick(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_push(g, 0));
+  }
+  state.counters["MTEPS"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BFSPush)->Arg(0)->Arg(1)->Arg(2)->ArgName("graph");
+
+void BM_BFSHybrid(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const CSRGraph& g = pick(which);
+  report_hybrid_trace(which);
+  std::vector<BfsLevelStats> trace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_hybrid(g, 0, {}, &trace));
+  }
+  double pull_levels = 0;
+  for (const auto& lv : trace)
+    if (lv.pull) pull_levels += 1;
+  state.counters["levels"] = static_cast<double>(trace.size());
+  state.counters["pull_levels"] = pull_levels;
+  state.counters["MTEPS"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BFSHybrid)->Arg(0)->Arg(1)->Arg(2)->ArgName("graph");
 
 void BM_BFSSerial(benchmark::State& state) {
-  const CSRGraph& g = pick(state.range(0) != 0);
+  const CSRGraph& g = pick(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(bfs_serial(g, 0));
   }
 }
-BENCHMARK(BM_BFSSerial)->Arg(0)->Arg(1)->ArgName("rmat");
+BENCHMARK(BM_BFSSerial)->Arg(0)->Arg(1)->ArgName("graph");
 
 void BM_ConnectedComponents(benchmark::State& state) {
   const CSRGraph& g = pick(state.range(0) != 0);

@@ -6,6 +6,7 @@
 #include <queue>
 #include <utility>
 
+#include "snap/kernels/frontier.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap {
@@ -113,21 +114,21 @@ BetweennessScores accumulate_coarse(const CSRGraph& g,
   std::vector<std::vector<double>> eloc(
       static_cast<std::size_t>(want_edge ? nt : 0));
 
-#pragma omp parallel num_threads(nt)
-  {
-    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+  const auto num_sources = static_cast<std::int64_t>(sources.size());
+  std::atomic<std::int64_t> cursor{0};
+  parallel::run_team(nt, [&](int ti) {
+    const auto t = static_cast<std::size_t>(ti);
     BrandesScratch sc(n);
     if (want_vertex) vloc[t].assign(static_cast<std::size_t>(n), 0.0);
     if (want_edge) eloc[t].assign(static_cast<std::size_t>(m), 0.0);
     double* va = want_vertex ? vloc[t].data() : nullptr;
     double* ea = want_edge ? eloc[t].data() : nullptr;
-#pragma omp for schedule(dynamic, 1)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
-         ++i) {
+    for (std::int64_t i;
+         (i = cursor.fetch_add(1, std::memory_order_relaxed)) < num_sources;) {
       brandes_from(g, sources[static_cast<std::size_t>(i)], edge_alive, sc, va,
                    ea);
     }
-  }
+  });
 
   BetweennessScores out;
   const double half = g.directed() ? 1.0 : 0.5;  // undirected pairs counted twice
@@ -162,6 +163,8 @@ BetweennessScores accumulate_fine(const CSRGraph& g) {
   std::vector<double> eacc(static_cast<std::size_t>(m), 0.0);
 
   std::vector<std::vector<vid_t>> levels;
+  FrontierPool pool;          // shared across sources: per-level buffers
+  std::vector<vid_t> next;    // reused level output
   for (vid_t s = 0; s < n; ++s) {
     parallel::parallel_for(n, [&](vid_t v) {
       dist[static_cast<std::size_t>(v)].store(-1, std::memory_order_relaxed);
@@ -173,38 +176,27 @@ BetweennessScores accumulate_fine(const CSRGraph& g) {
     levels.clear();
     levels.push_back({s});
 
-    // Forward: level-synchronous path counting.
+    // Forward: level-synchronous path counting on the shared frontier
+    // substrate — arcs of the level are split evenly across threads, so a
+    // hub in the frontier cannot serialize the expansion.
     while (!levels.back().empty()) {
       const auto& cur = levels.back();
       const std::int64_t d = static_cast<std::int64_t>(levels.size()) - 1;
-      std::vector<std::vector<vid_t>> next_local(
-          static_cast<std::size_t>(parallel::num_threads()));
-#pragma omp parallel
-      {
-        auto& out = next_local[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, 64)
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(cur.size());
-             ++i) {
-          const vid_t u = cur[static_cast<std::size_t>(i)];
-          const double su =
-              sigma[static_cast<std::size_t>(u)].load(std::memory_order_relaxed);
-          for (vid_t v : g.neighbors(u)) {
+      expand_arc_balanced(
+          g, cur, next, pool, [&](vid_t u, vid_t v) {
+            const double su = sigma[static_cast<std::size_t>(u)].load(
+                std::memory_order_relaxed);
             std::int64_t expected = -1;
-            if (dist[static_cast<std::size_t>(v)].compare_exchange_strong(
-                    expected, d + 1, std::memory_order_relaxed)) {
-              out.push_back(v);
-            }
+            const bool newly =
+                dist[static_cast<std::size_t>(v)].compare_exchange_strong(
+                    expected, d + 1, std::memory_order_relaxed);
             if (dist[static_cast<std::size_t>(v)].load(
                     std::memory_order_relaxed) == d + 1) {
               parallel::atomic_add(sigma[static_cast<std::size_t>(v)], su);
             }
-          }
-        }
-      }
-      std::vector<vid_t> next;
-      for (auto& buf : next_local)
-        next.insert(next.end(), buf.begin(), buf.end());
-      levels.push_back(std::move(next));
+            return newly;
+          });
+      levels.push_back(next);
     }
 
     // Backward: accumulate dependencies level by level (deepest first) in
@@ -212,8 +204,9 @@ BetweennessScores accumulate_fine(const CSRGraph& g) {
     // writes only its own slots, so the level sweep needs no atomics.
     for (std::size_t li = levels.size(); li-- > 0;) {
       const auto& lvl = levels[li];
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(lvl.size()); ++i) {
+      parallel::parallel_for_dynamic(
+          static_cast<std::int64_t>(lvl.size()),
+          [&](std::int64_t i) {
         const vid_t w = lvl[static_cast<std::size_t>(i)];
         const std::int64_t dw =
             dist[static_cast<std::size_t>(w)].load(std::memory_order_relaxed);
@@ -239,7 +232,8 @@ BetweennessScores accumulate_fine(const CSRGraph& g) {
         delta[static_cast<std::size_t>(w)].store(dsum,
                                                  std::memory_order_relaxed);
         if (w != s) vacc[static_cast<std::size_t>(w)] += dsum;
-      }
+      },
+          /*chunk=*/64);
     }
   }
 
@@ -352,9 +346,9 @@ BetweennessScores weighted_betweenness_centrality(const CSRGraph& g) {
   std::vector<std::vector<double>> vloc(static_cast<std::size_t>(nt));
   std::vector<std::vector<double>> eloc(static_cast<std::size_t>(nt));
 
-#pragma omp parallel num_threads(nt)
-  {
-    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+  std::atomic<vid_t> cursor{0};
+  parallel::run_team(nt, [&](int ti) {
+    const auto t = static_cast<std::size_t>(ti);
     vloc[t].assign(static_cast<std::size_t>(n), 0.0);
     eloc[t].assign(static_cast<std::size_t>(m), 0.0);
     std::vector<weight_t> dist(static_cast<std::size_t>(n),
@@ -363,12 +357,11 @@ BetweennessScores weighted_betweenness_centrality(const CSRGraph& g) {
     std::vector<double> delta(static_cast<std::size_t>(n), 0);
     std::vector<vid_t> order;
     order.reserve(static_cast<std::size_t>(n));
-#pragma omp for schedule(dynamic, 1)
-    for (vid_t s = 0; s < n; ++s) {
+    for (vid_t s; (s = cursor.fetch_add(1, std::memory_order_relaxed)) < n;) {
       brandes_weighted_from(g, s, dist, sigma, delta, order, vloc[t].data(),
                             eloc[t].data());
     }
-  }
+  });
 
   BetweennessScores out;
   out.vertex.assign(static_cast<std::size_t>(n), 0.0);

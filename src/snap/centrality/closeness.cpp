@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "snap/kernels/bfs.hpp"
+#include "snap/kernels/frontier.hpp"
 #include "snap/kernels/sssp.hpp"
 #include "snap/util/parallel.hpp"
 #include "snap/util/rng.hpp"
@@ -13,18 +14,19 @@ namespace snap {
 
 namespace {
 
-/// Distance sum from source s (reachable vertices only), by BFS or SSSP.
-double distance_sum_from(const CSRGraph& g, vid_t s) {
+/// Weighted distance sum from source s (reachable vertices only).
+double dijkstra_sum_from(const CSRGraph& g, vid_t s) {
   double sum = 0;
-  if (!g.weighted()) {
-    const BFSResult b = bfs_serial(g, s);
-    for (std::int64_t d : b.dist)
-      if (d > 0) sum += static_cast<double>(d);
-  } else {
-    const SSSPResult r = dijkstra(g, s);
-    for (weight_t d : r.dist)
-      if (d > 0 && d < std::numeric_limits<weight_t>::infinity()) sum += d;
-  }
+  const SSSPResult r = dijkstra(g, s);
+  for (weight_t d : r.dist)
+    if (d > 0 && d < std::numeric_limits<weight_t>::infinity()) sum += d;
+  return sum;
+}
+
+double bfs_dist_sum(const BFSResult& b) {
+  double sum = 0;
+  for (std::int64_t d : b.dist)
+    if (d > 0) sum += static_cast<double>(d);
   return sum;
 }
 
@@ -36,10 +38,26 @@ std::vector<double> closeness_centrality(const CSRGraph& g) {
   // Coarse-grained parallelism: one full traversal per source, sources
   // dealt dynamically to threads (per-source work varies with component
   // size, so static scheduling would imbalance on fragmented graphs).
+  if (!g.weighted()) {
+    // Each thread owns one BfsEngine, so frontier buffers, bitmaps and the
+    // result vectors are allocated once per thread, not once per source, and
+    // each sweep runs the serial direction-optimizing traversal.
+    std::atomic<vid_t> cursor{0};
+    parallel::run_team(parallel::num_threads(), [&](int) {
+      BfsEngine engine;
+      BFSResult b;
+      for (vid_t v; (v = cursor.fetch_add(1, std::memory_order_relaxed)) < n;) {
+        engine.run_serial_into(g, v, {}, b);
+        const double sum = bfs_dist_sum(b);
+        cc[static_cast<std::size_t>(v)] = sum > 0 ? 1.0 / sum : 0.0;
+      }
+    });
+    return cc;
+  }
   parallel::parallel_for_dynamic(
       n,
       [&](vid_t v) {
-        const double sum = distance_sum_from(g, v);
+        const double sum = dijkstra_sum_from(g, v);
         cc[static_cast<std::size_t>(v)] = sum > 0 ? 1.0 / sum : 0.0;
       },
       /*chunk=*/1);
@@ -61,18 +79,21 @@ std::vector<double> closeness_centrality_sampled(const CSRGraph& g,
   for (auto& s : sources)
     s = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
 
-  parallel::parallel_for_dynamic(
-      num_samples,
-      [&](vid_t i) {
-        const BFSResult b = bfs_serial(g, sources[static_cast<std::size_t>(i)]);
-        for (vid_t v = 0; v < n; ++v) {
-          const std::int64_t d = b.dist[static_cast<std::size_t>(v)];
-          if (d > 0)
-            parallel::atomic_add(sum[static_cast<std::size_t>(v)],
-                                 static_cast<double>(d));
-        }
-      },
-      /*chunk=*/1);
+  std::atomic<vid_t> cursor{0};
+  parallel::run_team(parallel::num_threads(), [&](int) {
+    BfsEngine engine;
+    BFSResult b;
+    for (vid_t i;
+         (i = cursor.fetch_add(1, std::memory_order_relaxed)) < num_samples;) {
+      engine.run_serial_into(g, sources[static_cast<std::size_t>(i)], {}, b);
+      for (vid_t v = 0; v < n; ++v) {
+        const std::int64_t d = b.dist[static_cast<std::size_t>(v)];
+        if (d > 0)
+          parallel::atomic_add(sum[static_cast<std::size_t>(v)],
+                               static_cast<double>(d));
+      }
+    }
+  });
 
   // Scale the sampled distance sum up to the full vertex set.
   const double scale =

@@ -11,9 +11,9 @@ std::vector<double> stress_centrality(const CSRGraph& g) {
   const int nt = parallel::num_threads();
   std::vector<std::vector<double>> local(static_cast<std::size_t>(nt));
 
-#pragma omp parallel num_threads(nt)
-  {
-    auto& acc = local[static_cast<std::size_t>(omp_get_thread_num())];
+  std::atomic<vid_t> cursor{0};
+  parallel::run_team(nt, [&](int t) {
+    auto& acc = local[static_cast<std::size_t>(t)];
     acc.assign(static_cast<std::size_t>(n), 0.0);
     std::vector<std::int64_t> dist(static_cast<std::size_t>(n), -1);
     std::vector<double> sigma(static_cast<std::size_t>(n), 0);
@@ -21,8 +21,7 @@ std::vector<double> stress_centrality(const CSRGraph& g) {
     std::vector<vid_t> order;
     order.reserve(static_cast<std::size_t>(n));
 
-#pragma omp for schedule(dynamic, 1)
-    for (vid_t s = 0; s < n; ++s) {
+    for (vid_t s; (s = cursor.fetch_add(1, std::memory_order_relaxed)) < n;) {
       for (vid_t v : order) {
         dist[static_cast<std::size_t>(v)] = -1;
         sigma[static_cast<std::size_t>(v)] = 0;
@@ -64,7 +63,7 @@ std::vector<double> stress_centrality(const CSRGraph& g) {
               sigma[static_cast<std::size_t>(w)] * dsum;
       }
     }
-  }
+  });
 
   std::vector<double> out(static_cast<std::size_t>(n), 0.0);
   for (const auto& acc : local)

@@ -46,16 +46,17 @@ double modularity_impl(const CSRGraph& g, const std::vector<vid_t>& membership,
     std::vector<std::vector<double>> intra_loc(
         static_cast<std::size_t>(nt)),
         deg_loc(static_cast<std::size_t>(nt));
-#pragma omp parallel num_threads(nt) reduction(+ : total_w)
-    {
-      const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    std::vector<double> w_loc(static_cast<std::size_t>(nt), 0.0);
+    parallel::run_team(nt, [&](int ti) {
+      const auto t = static_cast<std::size_t>(ti);
       intra_loc[t].assign(intra.size(), 0.0);
       deg_loc[t].assign(deg.size(), 0.0);
-#pragma omp for schedule(static)
-      for (eid_t e = 0; e < m; ++e) {
+      const eid_t lo = m * ti / nt;
+      const eid_t hi = m * (ti + 1) / nt;
+      for (eid_t e = lo; e < hi; ++e) {
         if (!alive(e)) continue;
         const Edge& ed = edges[static_cast<std::size_t>(e)];
-        total_w += ed.w;
+        w_loc[t] += ed.w;
         const auto cu =
             static_cast<std::size_t>(membership[static_cast<std::size_t>(ed.u)]);
         const auto cv =
@@ -64,8 +65,9 @@ double modularity_impl(const CSRGraph& g, const std::vector<vid_t>& membership,
         deg_loc[t][cv] += ed.w;
         if (cu == cv) intra_loc[t][cu] += ed.w;
       }
-    }
+    });
     for (int t = 0; t < nt; ++t) {
+      total_w += w_loc[static_cast<std::size_t>(t)];
       for (std::size_t c = 0; c < intra.size(); ++c) {
         intra[c] += intra_loc[static_cast<std::size_t>(t)][c];
         deg[c] += deg_loc[static_cast<std::size_t>(t)][c];

@@ -165,18 +165,19 @@ struct PBDState {
       // accumulators reduced into the shared score array.
       const int nt = parallel::num_threads();
       std::vector<std::vector<double>> acc(static_cast<std::size_t>(nt));
-#pragma omp parallel num_threads(nt)
-      {
-        const auto t = static_cast<std::size_t>(omp_get_thread_num());
+      const auto num_sources = static_cast<std::int64_t>(sources.size());
+      std::atomic<std::int64_t> cursor{0};
+      parallel::run_team(nt, [&](int ti) {
+        const auto t = static_cast<std::size_t>(ti);
         acc[t].assign(static_cast<std::size_t>(g.num_edges()), 0.0);
         Scratch sc(g.num_vertices());
-#pragma omp for schedule(dynamic, 1)
-        for (std::int64_t i = 0;
-             i < static_cast<std::int64_t>(sources.size()); ++i) {
+        for (std::int64_t i;
+             (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
+             num_sources;) {
           brandes_masked(g, sources[static_cast<std::size_t>(i)], alive, sc,
                          acc[t].data());
         }
-      }
+      });
       for (vid_t u : verts) {
         const auto nb = g.neighbors(u);
         const auto ids = g.edge_ids(u);
@@ -321,21 +322,22 @@ CommunityResult pbd(const CSRGraph& g, const PBDParams& params) {
     // are processed concurrently with serial traversals inside.
     const bool coarse = max_comp_size <= params.exact_threshold;
     if (coarse && dirty.size() > 1) {
-#pragma omp parallel
-      {
+      const auto num_dirty = static_cast<std::int64_t>(dirty.size());
+      std::atomic<std::int64_t> cursor{0};
+      parallel::run_team(parallel::num_threads(), [&](int) {
         // Per-thread traversal scratch, reused across components.  Small
         // components are scored exactly (all sources), so this path never
         // touches the shared sampling RNG.
         Scratch sc(g.num_vertices());
-#pragma omp for schedule(dynamic, 1)
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(dirty.size());
-             ++i) {
+        for (std::int64_t i;
+             (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
+             num_dirty;) {
           st.score_component(
               st.comp_vertices[static_cast<std::size_t>(
                   dirty[static_cast<std::size_t>(i)])],
               /*serial_inner=*/true, &sc);
         }
-      }
+      });
     } else {
       for (vid_t label : dirty)
         st.score_component(st.comp_vertices[static_cast<std::size_t>(label)],

@@ -137,13 +137,16 @@ CommunityResult pla(const CSRGraph& g, const PLAParams& params) {
   // the path-limited-search style coarse parallelism of §4.
   std::vector<vid_t> membership(static_cast<std::size_t>(n), kInvalidVid);
   const SplitMix64 base(params.seed);
-#pragma omp parallel for schedule(dynamic, 1)
-  for (std::int64_t c = 0; c < static_cast<std::int64_t>(comps.count); ++c) {
-    aggregate_component(g, params, alive,
-                        comp_vertices[static_cast<std::size_t>(c)], local_cc,
-                        inv_2w, base.fork(static_cast<std::uint64_t>(c)),
-                        membership);
-  }
+  parallel::parallel_for_dynamic(
+      static_cast<std::int64_t>(comps.count),
+      [&](std::int64_t c) {
+        aggregate_component(g, params, alive,
+                            comp_vertices[static_cast<std::size_t>(c)],
+                            local_cc, inv_2w,
+                            base.fork(static_cast<std::uint64_t>(c)),
+                            membership);
+      },
+      /*chunk=*/1);
 
   CommunityResult r;
   Clustering fine = normalize_labels(membership);

@@ -176,12 +176,13 @@ CommunityResult pma(const CSRGraph& g, const PMAParams& params) {
       // short update lists; go parallel only for wide supernode rows.
       if (parallel::num_threads() > 1 && merged.size() >= 256) {
         std::vector<Row::Entry> items(merged.begin(), merged.end());
-#pragma omp parallel for schedule(dynamic, 16)
-        for (std::int64_t idx = 0;
-             idx < static_cast<std::int64_t>(items.size()); ++idx) {
-          update_row(static_cast<std::size_t>(idx),
-                     items[static_cast<std::size_t>(idx)]);
-        }
+        parallel::parallel_for_dynamic(
+            static_cast<std::int64_t>(items.size()),
+            [&](std::int64_t idx) {
+              update_row(static_cast<std::size_t>(idx),
+                         items[static_cast<std::size_t>(idx)]);
+            },
+            /*chunk=*/16);
       } else {
         std::size_t idx = 0;
         for (const auto& item : merged) update_row(idx++, item);

@@ -1,10 +1,6 @@
 #include "snap/kernels/bfs.hpp"
 
-#include <algorithm>
-#include <atomic>
-
-#include "snap/util/bitmap.hpp"
-#include "snap/util/parallel.hpp"
+#include "snap/kernels/frontier.hpp"
 
 namespace snap {
 
@@ -47,91 +43,29 @@ BFSResult bfs_serial(const CSRGraph& g, vid_t source) {
 
 BFSResult bfs_bounded(const CSRGraph& g, vid_t source,
                       std::int64_t max_depth) {
-  BFSResult r = make_result(g.num_vertices(), source);
-  std::vector<vid_t> frontier{source}, next;
-  std::int64_t level = 0;
-  while (!frontier.empty() && level < max_depth) {
-    ++level;
-    next.clear();
-    for (vid_t u : frontier) {
-      for (vid_t v : g.neighbors(u)) {
-        if (r.dist[v] < 0) {
-          r.dist[v] = level;
-          r.parent[v] = u;
-          next.push_back(v);
-        }
-      }
-    }
-    frontier.swap(next);
-    r.num_visited += static_cast<vid_t>(frontier.size());
-  }
-  r.num_levels = frontier.empty() ? level - 1 : level;
-  return r;
+  BfsEngine engine;
+  HybridBFSOptions opts;
+  opts.max_depth = max_depth;
+  return engine.run(g, source, opts);
 }
 
 BFSResult bfs(const CSRGraph& g, vid_t source) {
-  const vid_t n = g.num_vertices();
-  BFSResult r = make_result(n, source);
-  AtomicBitmap visited(static_cast<std::size_t>(n));
-  visited.set(static_cast<std::size_t>(source));
+  BfsEngine engine;
+  return engine.run(g, source);
+}
 
-  std::vector<vid_t> frontier{source};
-  const int nt = parallel::num_threads();
-  std::vector<std::vector<vid_t>> local_next(static_cast<std::size_t>(nt));
-  std::int64_t level = 0;
+BFSResult bfs_push(const CSRGraph& g, vid_t source) {
+  BfsEngine engine;
+  HybridBFSOptions opts;
+  opts.enable_pull = false;
+  return engine.run(g, source, opts);
+}
 
-  while (!frontier.empty()) {
-    ++level;
-    // Arc-balanced expansion: prefix-sum the frontier degrees so threads
-    // split the *arcs* of this level evenly — the paper's fix for severe
-    // work imbalance under skewed degree distributions (§3).
-    const auto fsz = static_cast<std::int64_t>(frontier.size());
-    std::vector<eid_t> degs(static_cast<std::size_t>(fsz));
-    parallel::parallel_for(fsz, [&](std::int64_t i) {
-      degs[static_cast<std::size_t>(i)] = g.degree(frontier[i]);
-    });
-    std::vector<eid_t> off;
-    parallel::exclusive_prefix_sum(degs, off);
-    const eid_t total_arcs = off[static_cast<std::size_t>(fsz)];
-
-#pragma omp parallel num_threads(nt)
-    {
-      const int t = omp_get_thread_num();
-      auto& out = local_next[static_cast<std::size_t>(t)];
-      out.clear();
-      const eid_t arc_lo = total_arcs * t / nt;
-      const eid_t arc_hi = total_arcs * (t + 1) / nt;
-      if (arc_lo < arc_hi) {
-        // First frontier vertex whose arc range intersects [arc_lo, arc_hi).
-        std::int64_t i = static_cast<std::int64_t>(
-            std::upper_bound(off.begin(), off.end(), arc_lo) - off.begin() - 1);
-        for (; i < fsz && off[static_cast<std::size_t>(i)] < arc_hi; ++i) {
-          const vid_t u = frontier[i];
-          const auto nb = g.neighbors(u);
-          const eid_t base = off[static_cast<std::size_t>(i)];
-          const eid_t lo = std::max<eid_t>(arc_lo - base, 0);
-          const eid_t hi =
-              std::min<eid_t>(arc_hi - base, static_cast<eid_t>(nb.size()));
-          for (eid_t j = lo; j < hi; ++j) {
-            const vid_t v = nb[static_cast<std::size_t>(j)];
-            if (visited.test_and_set(static_cast<std::size_t>(v))) {
-              r.dist[v] = level;
-              r.parent[v] = u;
-              out.push_back(v);
-            }
-          }
-        }
-      }
-    }
-
-    frontier.clear();
-    for (auto& buf : local_next) {
-      frontier.insert(frontier.end(), buf.begin(), buf.end());
-    }
-    r.num_visited += static_cast<vid_t>(frontier.size());
-  }
-  r.num_levels = level - 1;
-  return r;
+BFSResult bfs_hybrid(const CSRGraph& g, vid_t source,
+                     const HybridBFSOptions& opts,
+                     std::vector<BfsLevelStats>* trace) {
+  BfsEngine engine;
+  return engine.run(g, source, opts, trace);
 }
 
 BFSResult bfs_masked(const CSRGraph& g, vid_t source,

@@ -15,11 +15,48 @@ struct BFSResult {
   std::int64_t num_levels = 0;
 };
 
-/// Level-synchronous parallel BFS (§3): vertices at each level are visited in
-/// parallel, visited-tracking is a lock-free atomic bitmap, and work is
-/// balanced by distributing frontier *arcs* (not vertices) across threads so
-/// high-degree vertices of a skewed distribution don't serialize a level.
+/// Tuning knobs for the direction-optimizing (push/pull) traversal.
+/// Defaults follow Beamer et al.: switch to bottom-up pull when the
+/// frontier's out-arcs exceed 1/alpha of the still-unexplored arcs, and
+/// return to top-down push once the frontier is shrinking and smaller than
+/// n/beta vertices.
+struct HybridBFSOptions {
+  double alpha = 15.0;  ///< push->pull when frontier_arcs * alpha > unexplored arcs
+  double beta = 18.0;   ///< pull->push when shrinking and frontier_size * beta < n
+  /// Pull is never attempted below this many frontier arcs: on always-sparse
+  /// shapes (paths, trees) the tail of the search would otherwise flip to
+  /// pull and pay an O(n) scan per level for nothing.
+  eid_t min_pull_arcs = 256;
+  std::int64_t max_depth = -1;  ///< >= 0: depth cutoff (bfs_bounded semantics)
+  bool enable_pull = true;      ///< false forces the arc-balanced push path
+};
+
+/// Per-level record of what the hybrid engine did — surfaced so benches and
+/// tests can audit the push/pull decisions.
+struct BfsLevelStats {
+  std::int64_t level = 0;     ///< 1-based level expanded
+  bool pull = false;          ///< true if this level ran bottom-up
+  vid_t frontier_vertices = 0;  ///< frontier size entering the level
+  eid_t frontier_arcs = 0;      ///< out-arcs of that frontier
+  vid_t discovered = 0;         ///< vertices claimed at this level
+};
+
+/// Level-synchronous parallel BFS (§3).  Now runs the direction-optimizing
+/// engine: top-down levels are arc-balanced push (frontier arcs split evenly
+/// across threads), dense middle levels of low-diameter graphs switch to a
+/// bottom-up bitmap pull.  Distances are identical to bfs_serial; parent
+/// choices may differ between runs (any valid BFS tree).
 BFSResult bfs(const CSRGraph& g, vid_t source);
+
+/// The paper's original arc-balanced push-only BFS (no pull), kept as the
+/// baseline the benches compare the hybrid against.
+BFSResult bfs_push(const CSRGraph& g, vid_t source);
+
+/// Direction-optimizing BFS with explicit knobs and an optional per-level
+/// decision trace.
+BFSResult bfs_hybrid(const CSRGraph& g, vid_t source,
+                     const HybridBFSOptions& opts = {},
+                     std::vector<BfsLevelStats>* trace = nullptr);
 
 /// Reference serial BFS (used for validation and for tiny subproblems).
 BFSResult bfs_serial(const CSRGraph& g, vid_t source);
@@ -27,7 +64,11 @@ BFSResult bfs_serial(const CSRGraph& g, vid_t source);
 /// Depth-limited BFS — the "path-limited search" paradigm of §3, in which
 /// multiple bounded searches are executed concurrently and aggregated
 /// (pLA's cluster growth is its main client).  Vertices beyond `max_depth`
-/// hops stay unreached.
+/// hops stay unreached.  Accounting is pinned to the truncated-oracle rule:
+/// `dist` equals bfs_serial's wherever bfs_serial's dist <= max_depth (and
+/// -1 beyond), `num_visited` counts exactly those vertices, and
+/// `num_levels` is the deepest distance actually assigned,
+/// i.e. min(eccentricity, max_depth).
 BFSResult bfs_bounded(const CSRGraph& g, vid_t source, std::int64_t max_depth);
 
 /// BFS over the subgraph of edges whose logical id is still alive

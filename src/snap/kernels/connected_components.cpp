@@ -33,20 +33,19 @@ Components sv_components(const CSRGraph& g, EdgeAlive&& alive) {
   });
 
   const auto& edges = g.edges();
-  bool changed = true;
-  while (changed) {
-    changed = false;
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
     // Hook: point the larger label's root at the smaller label.
-#pragma omp parallel for schedule(static) reduction(|| : changed)
-    for (eid_t e = 0; e < m; ++e) {
-      if (!alive(e)) continue;
+    parallel::parallel_for(m, [&](eid_t e) {
+      if (!alive(e)) return;
       const vid_t u = edges[static_cast<std::size_t>(e)].u;
       const vid_t v = edges[static_cast<std::size_t>(e)].v;
       const vid_t cu = comp[static_cast<std::size_t>(u)].load(
           std::memory_order_relaxed);
       const vid_t cv = comp[static_cast<std::size_t>(v)].load(
           std::memory_order_relaxed);
-      if (cu == cv) continue;
+      if (cu == cv) return;
       const vid_t hi = std::max(cu, cv);
       const vid_t lo = std::min(cu, cv);
       // Only hook roots (comp[hi] == hi) to keep the forest shallow; the
@@ -55,12 +54,12 @@ Components sv_components(const CSRGraph& g, EdgeAlive&& alive) {
       vid_t expected = hi;
       if (comp[static_cast<std::size_t>(hi)].compare_exchange_strong(
               expected, lo, std::memory_order_relaxed)) {
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       } else if (expected > lo) {
         // hi was no longer a root; retry next round.
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       }
-    }
+    });
     // Shortcut: pointer-jump every vertex to its grandparent until flat.
     parallel::parallel_for(n, [&](vid_t v) {
       vid_t c = comp[static_cast<std::size_t>(v)].load(

@@ -1,0 +1,244 @@
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/util/bitmap.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+/// Reusable scratch for frontier-based traversals: the per-level degree /
+/// prefix-sum arrays of the arc-balanced split and the per-thread output
+/// buffers.  Holding one pool across levels (and across whole traversals —
+/// every buffer keeps its capacity) removes the per-level allocations the
+/// original bfs rebuilt on every iteration.
+class FrontierPool {
+ public:
+  void prepare(int num_threads) {
+    if (static_cast<int>(local_.size()) < num_threads)
+      local_.resize(static_cast<std::size_t>(num_threads));
+    // Clear every buffer (not just the first num_threads): collect_into
+    // concatenates them all, and a previous call may have used more threads.
+    for (auto& buf : local_) buf.clear();
+  }
+
+  std::vector<eid_t>& degrees() { return degs_; }
+  std::vector<eid_t>& offsets() { return off_; }
+  std::vector<vid_t>& local(int t) {
+    return local_[static_cast<std::size_t>(t)];
+  }
+
+  /// Concatenate the per-thread buffers into `out` (thread order, so the
+  /// result is deterministic given a fixed arc split).
+  void collect_into(std::vector<vid_t>& out) {
+    std::size_t total = 0;
+    for (const auto& buf : local_) total += buf.size();
+    out.clear();
+    out.reserve(total);
+    for (const auto& buf : local_) out.insert(out.end(), buf.begin(), buf.end());
+  }
+
+ private:
+  std::vector<eid_t> degs_, off_;
+  std::vector<std::vector<vid_t>> local_;
+};
+
+/// Below this many frontier arcs a level is expanded serially: the OpenMP
+/// region + prefix sum cost more than the scan itself.
+inline constexpr eid_t kSerialExpandArcs = 2048;
+
+/// Arc-balanced parallel expansion of a sparse frontier (§3's balancing fix
+/// for skewed degrees): the frontier's degrees are prefix-summed and each
+/// thread takes an equal *arc* range, so one hub cannot serialize a level.
+/// `visit(u, v)` is called exactly once per frontier arc and must return
+/// true iff it newly claimed v; claimed vertices land in `next` (cleared
+/// first).  All intermediates come from `pool`, so steady-state expansion
+/// allocates nothing.
+template <typename Visit>
+void expand_arc_balanced(const CSRGraph& g, const std::vector<vid_t>& frontier,
+                         std::vector<vid_t>& next, FrontierPool& pool,
+                         Visit&& visit) {
+  next.clear();
+  const auto fsz = static_cast<std::int64_t>(frontier.size());
+  if (fsz == 0) return;
+  const int nt = parallel::num_threads();
+  auto& degs = pool.degrees();
+  degs.resize(static_cast<std::size_t>(fsz));
+  for (std::int64_t i = 0; i < fsz; ++i)
+    degs[static_cast<std::size_t>(i)] = g.degree(frontier[static_cast<std::size_t>(i)]);
+  auto& off = pool.offsets();
+  parallel::exclusive_prefix_sum(degs, off);
+  const eid_t total_arcs = off[static_cast<std::size_t>(fsz)];
+
+  if (nt == 1 || total_arcs < kSerialExpandArcs) {
+    for (std::int64_t i = 0; i < fsz; ++i) {
+      const vid_t u = frontier[static_cast<std::size_t>(i)];
+      for (vid_t v : g.neighbors(u))
+        if (visit(u, v)) next.push_back(v);
+    }
+    return;
+  }
+
+  pool.prepare(nt);
+  parallel::run_team(nt, [&](int t) {
+    auto& out = pool.local(t);
+    out.clear();
+    const eid_t arc_lo = total_arcs * t / nt;
+    const eid_t arc_hi = total_arcs * (t + 1) / nt;
+    if (arc_lo < arc_hi) {
+      // First frontier vertex whose arc range intersects [arc_lo, arc_hi).
+      std::int64_t i = static_cast<std::int64_t>(
+          std::upper_bound(off.begin(), off.begin() + fsz + 1, arc_lo) -
+          off.begin() - 1);
+      for (; i < fsz && off[static_cast<std::size_t>(i)] < arc_hi; ++i) {
+        const vid_t u = frontier[static_cast<std::size_t>(i)];
+        const auto nb = g.neighbors(u);
+        const eid_t base = off[static_cast<std::size_t>(i)];
+        const eid_t lo = std::max<eid_t>(arc_lo - base, 0);
+        const eid_t hi =
+            std::min<eid_t>(arc_hi - base, static_cast<eid_t>(nb.size()));
+        for (eid_t j = lo; j < hi; ++j) {
+          const vid_t v = nb[static_cast<std::size_t>(j)];
+          if (visit(u, v)) out.push_back(v);
+        }
+      }
+    }
+  });
+  pool.collect_into(next);
+}
+
+/// A BFS frontier that is either sparse (vertex list, expanded by push) or
+/// dense (bitmap over all vertices, expanded by bottom-up pull).  The
+/// traversal engines convert between the two as the Beamer alpha/beta
+/// heuristic dictates; both representations keep their storage across
+/// levels and runs.
+class Frontier {
+ public:
+  /// Bind to a graph of n vertices and reset to empty sparse.
+  void init(vid_t n) {
+    n_ = n;
+    list_.clear();
+    dense_ = false;
+    size_ = 0;
+    arcs_ = 0;
+  }
+
+  void reset_to(vid_t v, eid_t degree) {
+    list_.clear();
+    list_.push_back(v);
+    dense_ = false;
+    size_ = 1;
+    arcs_ = degree;
+  }
+
+  [[nodiscard]] bool dense() const { return dense_; }
+  [[nodiscard]] vid_t size() const { return size_; }
+  [[nodiscard]] eid_t arcs() const { return arcs_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  std::vector<vid_t>& list() { return list_; }
+  [[nodiscard]] const std::vector<vid_t>& list() const { return list_; }
+  AtomicBitmap& bits() { return bits_; }
+  [[nodiscard]] const AtomicBitmap& bits() const { return bits_; }
+
+  /// Record the outcome of a dense (pull) level, whose bitmap was filled by
+  /// the engine directly.
+  void assume_dense(vid_t size, eid_t arcs) {
+    dense_ = true;
+    size_ = size;
+    arcs_ = arcs;
+  }
+
+  void assume_sparse(const CSRGraph& g) {
+    dense_ = false;
+    size_ = static_cast<vid_t>(list_.size());
+    eid_t a = 0;
+    for (vid_t v : list_) a += g.degree(v);
+    arcs_ = a;
+  }
+
+  /// Sparse -> dense: scatter the vertex list into the bitmap.
+  void to_dense() {
+    bits_.resize(static_cast<std::size_t>(n_));
+    const auto fsz = static_cast<std::int64_t>(list_.size());
+    parallel::parallel_for(fsz, [&](std::int64_t i) {
+      bits_.set(static_cast<std::size_t>(list_[static_cast<std::size_t>(i)]));
+    });
+    dense_ = true;
+  }
+
+  /// Dense -> sparse: gather the vertices whose `dist` equals `level` (the
+  /// depth this frontier was discovered at) back into the list.
+  void to_sparse(const CSRGraph& g, const std::vector<std::int64_t>& dist,
+                 std::int64_t level, FrontierPool& pool) {
+    const int nt = parallel::num_threads();
+    pool.prepare(nt);
+    parallel::run_team(nt, [&](int t) {
+      auto& out = pool.local(t);
+      out.clear();
+      // Contiguous block per thread, so collect_into yields vertex order.
+      const vid_t lo = n_ * t / nt;
+      const vid_t hi = n_ * (t + 1) / nt;
+      for (vid_t v = lo; v < hi; ++v)
+        if (dist[static_cast<std::size_t>(v)] == level) out.push_back(v);
+    });
+    pool.collect_into(list_);
+    assume_sparse(g);
+  }
+
+  void swap(Frontier& other) noexcept {
+    std::swap(n_, other.n_);
+    std::swap(dense_, other.dense_);
+    std::swap(size_, other.size_);
+    std::swap(arcs_, other.arcs_);
+    list_.swap(other.list_);
+    bits_.swap(other.bits_);
+  }
+
+ private:
+  vid_t n_ = 0;
+  bool dense_ = false;
+  vid_t size_ = 0;
+  eid_t arcs_ = 0;
+  std::vector<vid_t> list_;
+  AtomicBitmap bits_;
+};
+
+/// Direction-optimizing BFS engine over the shared frontier substrate.
+/// One engine owns all traversal scratch (frontier pair, visited bitmap,
+/// buffer pool), so a client running many searches — closeness, path-length
+/// sampling, the betweenness forward phase — reuses every allocation.
+///
+/// run() parallelizes within each level (arc-balanced push / bitmap pull);
+/// run_serial() is the same hybrid without OpenMP, for clients that already
+/// parallelize across sources and want one engine per thread.
+/// An engine instance is not thread-safe; share nothing between threads.
+class BfsEngine {
+ public:
+  BFSResult run(const CSRGraph& g, vid_t source,
+                const HybridBFSOptions& opts = {},
+                std::vector<BfsLevelStats>* trace = nullptr);
+
+  BFSResult run_serial(const CSRGraph& g, vid_t source,
+                       const HybridBFSOptions& opts = {});
+
+  /// As run_serial, but reuses the caller's result buffers (no per-source
+  /// vector allocations in sweep loops).
+  void run_serial_into(const CSRGraph& g, vid_t source,
+                       const HybridBFSOptions& opts, BFSResult& r);
+
+  FrontierPool& pool() { return pool_; }
+
+ private:
+  Frontier cur_, next_;
+  AtomicBitmap visited_;
+  FrontierPool pool_;
+};
+
+}  // namespace snap

@@ -45,17 +45,16 @@ MSTResult boruvka_mst(const CSRGraph& g) {
     });
     // Find each component's lightest outgoing edge (by rank).
     std::atomic<bool> any{false};
-#pragma omp parallel for schedule(static)
-    for (eid_t e = 0; e < m; ++e) {
+    parallel::parallel_for(m, [&](eid_t e) {
       const Edge& ed = edges[static_cast<std::size_t>(e)];
       const vid_t cu = uf.find_no_compress(ed.u);
       const vid_t cv = uf.find_no_compress(ed.v);
-      if (cu == cv) continue;
+      if (cu == cv) return;
       const eid_t rk = rank[static_cast<std::size_t>(e)];
       parallel::atomic_fetch_min(best[static_cast<std::size_t>(cu)], rk);
       parallel::atomic_fetch_min(best[static_cast<std::size_t>(cv)], rk);
       any.store(true, std::memory_order_relaxed);
-    }
+    });
     if (!any.load()) break;
     // Contract: serially unite along the selected edges (cheap: <= #components).
     for (vid_t v = 0; v < n; ++v) {

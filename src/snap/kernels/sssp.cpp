@@ -92,23 +92,28 @@ SSSPResult delta_stepping(const CSRGraph& g, vid_t source, weight_t delta) {
     frontier.swap(buckets[bi]);
     while (!frontier.empty()) {
       for (auto& buf : local) buf.clear();
-#pragma omp parallel num_threads(nt)
-      {
-        auto& touched = local[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, 64)
-        for (std::int64_t i = 0;
-             i < static_cast<std::int64_t>(frontier.size()); ++i) {
-          const vid_t u = frontier[static_cast<std::size_t>(i)];
-          const weight_t du =
-              dist[static_cast<std::size_t>(u)].load(std::memory_order_relaxed);
-          if (bucket_of(du) != bi) continue;  // re-queued into a later bucket
-          const auto nb = g.neighbors(u);
-          const auto ws = g.weights(u);
-          for (std::size_t j = 0; j < nb.size(); ++j) {
-            if (ws[j] < delta) relax(nb[j], du + ws[j], u, touched);
+      const auto fsz = static_cast<std::int64_t>(frontier.size());
+      std::atomic<std::int64_t> light_cursor{0};
+      parallel::run_team(nt, [&](int t) {
+        auto& touched = local[static_cast<std::size_t>(t)];
+        for (;;) {
+          const std::int64_t lo =
+              light_cursor.fetch_add(64, std::memory_order_relaxed);
+          if (lo >= fsz) break;
+          const std::int64_t hi = std::min<std::int64_t>(fsz, lo + 64);
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const vid_t u = frontier[static_cast<std::size_t>(i)];
+            const weight_t du = dist[static_cast<std::size_t>(u)].load(
+                std::memory_order_relaxed);
+            if (bucket_of(du) != bi) continue;  // re-queued into a later bucket
+            const auto nb = g.neighbors(u);
+            const auto ws = g.weights(u);
+            for (std::size_t j = 0; j < nb.size(); ++j) {
+              if (ws[j] < delta) relax(nb[j], du + ws[j], u, touched);
+            }
           }
         }
-      }
+      });
       settled.insert(settled.end(), frontier.begin(), frontier.end());
       frontier.clear();
       for (auto& buf : local) {
@@ -127,23 +132,28 @@ SSSPResult delta_stepping(const CSRGraph& g, vid_t source, weight_t delta) {
     }
     // Phase 2: relax heavy edges of everything settled in this bucket.
     for (auto& buf : local) buf.clear();
-#pragma omp parallel num_threads(nt)
-    {
-      auto& touched = local[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(settled.size());
-           ++i) {
-        const vid_t u = settled[static_cast<std::size_t>(i)];
-        const weight_t du =
-            dist[static_cast<std::size_t>(u)].load(std::memory_order_relaxed);
-        if (bucket_of(du) != bi) continue;  // got improved; will reappear later
-        const auto nb = g.neighbors(u);
-        const auto ws = g.weights(u);
-        for (std::size_t j = 0; j < nb.size(); ++j) {
-          if (ws[j] >= delta) relax(nb[j], du + ws[j], u, touched);
+    const auto ssz = static_cast<std::int64_t>(settled.size());
+    std::atomic<std::int64_t> heavy_cursor{0};
+    parallel::run_team(nt, [&](int t) {
+      auto& touched = local[static_cast<std::size_t>(t)];
+      for (;;) {
+        const std::int64_t lo =
+            heavy_cursor.fetch_add(64, std::memory_order_relaxed);
+        if (lo >= ssz) break;
+        const std::int64_t hi = std::min<std::int64_t>(ssz, lo + 64);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const vid_t u = settled[static_cast<std::size_t>(i)];
+          const weight_t du = dist[static_cast<std::size_t>(u)].load(
+              std::memory_order_relaxed);
+          if (bucket_of(du) != bi) continue;  // improved; will reappear later
+          const auto nb = g.neighbors(u);
+          const auto ws = g.weights(u);
+          for (std::size_t j = 0; j < nb.size(); ++j) {
+            if (ws[j] >= delta) relax(nb[j], du + ws[j], u, touched);
+          }
         }
       }
-    }
+    });
     for (auto& buf : local) {
       for (vid_t v : buf) {
         const weight_t dv =

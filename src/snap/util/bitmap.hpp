@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace snap {
@@ -14,15 +15,27 @@ class AtomicBitmap {
   AtomicBitmap() = default;
   explicit AtomicBitmap(std::size_t bits) { resize(bits); }
 
+  /// Size to `bits` and zero the active range.  Storage is kept when the new
+  /// size fits the old allocation, so a pooled bitmap (e.g. a BfsEngine's
+  /// frontier) can be reset every traversal without reallocating.
   void resize(std::size_t bits) {
+    const std::size_t words = (bits + 63) / 64;
+    if (words > words_.size())
+      words_ = std::vector<std::atomic<std::uint64_t>>(words);
     bits_ = bits;
-    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
     clear();
   }
 
   /// Reset all bits to zero (not thread-safe vs. concurrent set()).
   void clear() {
-    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    const std::size_t words = (bits_ + 63) / 64;
+    for (std::size_t i = 0; i < words; ++i)
+      words_[i].store(0, std::memory_order_relaxed);
+  }
+
+  void swap(AtomicBitmap& other) noexcept {
+    std::swap(bits_, other.bits_);
+    words_.swap(other.words_);
   }
 
   [[nodiscard]] std::size_t size() const { return bits_; }

@@ -6,7 +6,23 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
+
+// ThreadSanitizer cannot see libgomp's synchronization (GCC does not ship an
+// instrumented OpenMP runtime), so every fork/join and even the compiler's
+// shared-variable handoff at a `#pragma omp parallel` is reported as a race.
+// Under TSan, SNAP therefore runs its thread teams on std::thread — whose
+// create/join the sanitizer models exactly — with the same manual
+// worksharing the OpenMP path uses, so the kernels TSan checks are the
+// kernels production runs.
+#if defined(__SANITIZE_THREAD__)
+#define SNAP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SNAP_TSAN 1
+#endif
+#endif
 
 namespace snap::parallel {
 
@@ -21,28 +37,90 @@ int num_threads();
 /// Maximum hardware concurrency reported by the runtime.
 int max_threads();
 
-/// Parallel for over [0, n) with static scheduling.  `f(i)` must be safe to
-/// run concurrently for distinct `i`.
+/// Run `body(t)` for every t in [0, nt) on a team of (up to) nt threads.
+/// This is the single fork/join primitive behind every SNAP kernel: OpenMP
+/// in normal builds, std::thread under TSan (see SNAP_TSAN above).  `body`
+/// must not assume the calls are concurrent — if the runtime delivers fewer
+/// threads, one thread runs several t values.
+template <typename F>
+void run_team(int nt, F&& body) {
+  if (nt <= 1) {
+    for (int t = 0; t < nt; ++t) body(t);
+    return;
+  }
+#if defined(SNAP_TSAN)
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(nt) - 1);
+  for (int t = 1; t < nt; ++t) team.emplace_back([&body, t] { body(t); });
+  body(0);
+  for (auto& th : team) th.join();
+#else
+#pragma omp parallel num_threads(nt)
+  {
+    const int delivered = omp_get_num_threads();
+    for (int t = omp_get_thread_num(); t < nt; t += delivered) body(t);
+  }
+#endif
+}
+
+/// Parallel for over [0, n) with static (contiguous-block) scheduling.
+/// `f(i)` must be safe to run concurrently for distinct `i`.
 template <typename Index, typename F>
 void parallel_for(Index n, F&& f) {
-#pragma omp parallel for schedule(static)
-  for (Index i = 0; i < n; ++i) f(i);
+  const int nt = num_threads();
+  if (nt <= 1 || n <= 1) {
+    for (Index i = 0; i < n; ++i) f(i);
+    return;
+  }
+  run_team(nt, [&](int t) {
+    const Index lo = n * t / nt;
+    const Index hi = n * (t + 1) / nt;
+    for (Index i = lo; i < hi; ++i) f(i);
+  });
 }
 
-/// Parallel for with dynamic scheduling, for skewed per-iteration work
-/// (e.g. iterating over vertices of a power-law graph).
+/// Parallel for with dynamic (chunked work-stealing) scheduling, for skewed
+/// per-iteration work (e.g. iterating over vertices of a power-law graph).
 template <typename Index, typename F>
 void parallel_for_dynamic(Index n, F&& f, int chunk = 64) {
-#pragma omp parallel for schedule(dynamic, chunk)
-  for (Index i = 0; i < n; ++i) f(i);
+  const int nt = num_threads();
+  if (nt <= 1 || n <= static_cast<Index>(chunk)) {
+    for (Index i = 0; i < n; ++i) f(i);
+    return;
+  }
+  std::atomic<Index> next{0};
+  run_team(nt, [&](int) {
+    for (;;) {
+      const Index lo =
+          next.fetch_add(static_cast<Index>(chunk), std::memory_order_relaxed);
+      if (lo >= n) break;
+      const Index hi = std::min(n, lo + static_cast<Index>(chunk));
+      for (Index i = lo; i < hi; ++i) f(i);
+    }
+  });
 }
 
-/// Parallel sum-reduction of f(i) over [0, n).
+/// Parallel sum-reduction of f(i) over [0, n).  Per-thread partials are
+/// combined in thread order, so the result is deterministic even for
+/// floating-point T.
 template <typename T, typename Index, typename F>
 T parallel_reduce_sum(Index n, F&& f) {
+  const int nt = num_threads();
+  if (nt <= 1 || n <= 1) {
+    T total{};
+    for (Index i = 0; i < n; ++i) total += f(i);
+    return total;
+  }
+  std::vector<T> partial(static_cast<std::size_t>(nt), T{});
+  run_team(nt, [&](int t) {
+    const Index lo = n * t / nt;
+    const Index hi = n * (t + 1) / nt;
+    T acc{};
+    for (Index i = lo; i < hi; ++i) acc += f(i);
+    partial[static_cast<std::size_t>(t)] = acc;
+  });
   T total{};
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (Index i = 0; i < n; ++i) total += f(i);
+  for (const T& p : partial) total += p;
   return total;
 }
 
@@ -61,28 +139,26 @@ void exclusive_prefix_sum(const T* in, T* out, std::size_t n) {
     out[n] = acc;
     return;
   }
+  const std::size_t chunk = (n + nt - 1) / nt;
   std::vector<T> block_sum(static_cast<std::size_t>(nt) + 1, T{});
-#pragma omp parallel num_threads(nt)
-  {
-    const int t = omp_get_thread_num();
-    const std::size_t chunk = (n + nt - 1) / nt;
+  run_team(nt, [&](int t) {
     const std::size_t lo = std::min(n, chunk * static_cast<std::size_t>(t));
     const std::size_t hi = std::min(n, lo + chunk);
     T acc{};
     for (std::size_t i = lo; i < hi; ++i) acc += in[i];
     block_sum[static_cast<std::size_t>(t) + 1] = acc;
-#pragma omp barrier
-#pragma omp single
-    {
-      for (int b = 0; b < nt; ++b) block_sum[b + 1] += block_sum[b];
-      out[n] = block_sum[nt];
-    }
-    T run = block_sum[t];
+  });
+  for (int b = 0; b < nt; ++b) block_sum[b + 1] += block_sum[b];
+  out[n] = block_sum[static_cast<std::size_t>(nt)];
+  run_team(nt, [&](int t) {
+    const std::size_t lo = std::min(n, chunk * static_cast<std::size_t>(t));
+    const std::size_t hi = std::min(n, lo + chunk);
+    T run = block_sum[static_cast<std::size_t>(t)];
     for (std::size_t i = lo; i < hi; ++i) {
       out[i] = run;
       run += in[i];
     }
-  }
+  });
 }
 
 template <typename T>
