@@ -15,7 +15,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "snap/gen/generators.hpp"
@@ -128,6 +131,78 @@ inline snap::CSRGraph rmat_sf() {
                                                 1600000 * scale())),
                    false, 106);
 }
+
+/// Value of `--flag value` in argv, or `fallback` when absent.
+inline std::string flag_value(int argc, char** argv, const std::string& flag,
+                              const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == flag) return argv[i + 1];
+  return fallback;
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i)
+    if (argv[i] == flag) return true;
+  return false;
+}
+
+/// Machine-readable bench results: every bench can take `--json out.json`
+/// and append one record per measurement, so CI archives a perf trajectory
+/// that future PRs diff against.  Records carry the bench name, dataset,
+/// free-form string params (graph scale, edge counts, ...), the thread
+/// count, a phase label, and seconds; numeric-looking values are emitted as
+/// JSON numbers.
+class JsonReport {
+ public:
+  /// `path` empty = disabled (record/write become no-ops).
+  explicit JsonReport(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  void record(const std::string& dataset, const Params& params, int threads,
+              const std::string& phase, double seconds,
+              double throughput = 0.0) {
+    if (path_.empty()) return;
+    std::ostringstream os;
+    os << "  {\"bench\": \"" << bench_ << "\", \"dataset\": \"" << dataset
+       << "\", \"threads\": " << threads << ", \"phase\": \"" << phase
+       << "\", \"seconds\": " << seconds;
+    if (throughput > 0) os << ", \"throughput\": " << throughput;
+    for (const auto& [k, v] : params) {
+      os << ", \"" << k << "\": ";
+      if (looks_numeric(v))
+        os << v;
+      else
+        os << '"' << v << '"';
+    }
+    os << "}";
+    records_.push_back(os.str());
+  }
+
+  /// Write the accumulated records as a JSON array.
+  void write() const {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    out << "]\n";
+    std::printf("wrote %zu records to %s\n", records_.size(), path_.c_str());
+  }
+
+ private:
+  static bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 inline void print_header(const char* title) {
   std::printf("\n================================================================\n");

@@ -4,7 +4,7 @@
 
 namespace snap::gen {
 
-CSRGraph erdos_renyi(vid_t n, eid_t m, bool directed, std::uint64_t seed) {
+EdgeList erdos_renyi_edges(vid_t n, eid_t m, std::uint64_t seed) {
   EdgeList edges(static_cast<std::size_t>(m));
   const SplitMix64 base(seed);
   parallel::parallel_for(m, [&](eid_t e) {
@@ -16,7 +16,11 @@ CSRGraph erdos_renyi(vid_t n, eid_t m, bool directed, std::uint64_t seed) {
     } while (u == v);
     edges[static_cast<std::size_t>(e)] = Edge{u, v, 1.0};
   });
-  return CSRGraph::from_edges(n, edges, directed);
+  return edges;
+}
+
+CSRGraph erdos_renyi(vid_t n, eid_t m, bool directed, std::uint64_t seed) {
+  return CSRGraph::from_edges(n, erdos_renyi_edges(n, m, seed), directed);
 }
 
 }  // namespace snap::gen

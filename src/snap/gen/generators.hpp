@@ -23,10 +23,18 @@ struct RmatParams {
 };
 CSRGraph rmat(const RmatParams& p);
 
+/// Raw R-MAT edge list (duplicates and self loops included, exactly as the
+/// recursive matrix emits them).  `rmat()` is this plus the CSR build; the
+/// ingest bench times the two phases separately.
+EdgeList rmat_edges(const RmatParams& p);
+
 /// Sparse uniform random graph G(n, m) (Erdős–Rényi; the "sparse random"
 /// instance of Table 1).
 CSRGraph erdos_renyi(vid_t n, eid_t m, bool directed = false,
                      std::uint64_t seed = 1);
+
+/// Raw G(n, m) edge list (duplicates included; self loops are resampled).
+EdgeList erdos_renyi_edges(vid_t n, eid_t m, std::uint64_t seed = 1);
 
 /// Nearly-Euclidean road-network-like graph (the "Physical (road)" instance
 /// of Table 1): a `rows x cols` grid where each vertex connects to its grid
@@ -38,6 +46,11 @@ CSRGraph grid_road(vid_t rows, vid_t cols, double extra_frac = 0.05,
 /// Watts–Strogatz small-world graph: ring lattice with k neighbors per side,
 /// each edge rewired with probability `beta`.
 CSRGraph watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed = 1);
+
+/// Raw Watts–Strogatz edge list (rewiring collisions left for the CSR
+/// builder's dedupe).
+EdgeList watts_strogatz_edges(vid_t n, vid_t k, double beta,
+                              std::uint64_t seed = 1);
 
 /// Barabási–Albert preferential attachment: each new vertex attaches to
 /// `m_per_vertex` existing vertices chosen proportionally to degree.

@@ -6,7 +6,7 @@
 
 namespace snap::gen {
 
-CSRGraph rmat(const RmatParams& p) {
+EdgeList rmat_edges(const RmatParams& p) {
   const vid_t n = vid_t{1} << p.scale;
   const eid_t m = p.m > 0 ? p.m : p.edge_factor * n;
   EdgeList edges(static_cast<std::size_t>(m));
@@ -40,8 +40,11 @@ CSRGraph rmat(const RmatParams& p) {
     }
     edges[static_cast<std::size_t>(e)] = Edge{u, v, 1.0};
   });
+  return edges;
+}
 
-  return CSRGraph::from_edges(n, edges, p.directed);
+CSRGraph rmat(const RmatParams& p) {
+  return CSRGraph::from_edges(vid_t{1} << p.scale, rmat_edges(p), p.directed);
 }
 
 }  // namespace snap::gen

@@ -3,7 +3,8 @@
 
 namespace snap::gen {
 
-CSRGraph watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
+EdgeList watts_strogatz_edges(vid_t n, vid_t k, double beta,
+                              std::uint64_t seed) {
   SplitMix64 rng(seed);
   EdgeList edges;
   edges.reserve(static_cast<std::size_t>(n * k));
@@ -21,7 +22,12 @@ CSRGraph watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
       edges.push_back({u, v, 1.0});
     }
   }
-  return CSRGraph::from_edges(n, edges, /*directed=*/false);
+  return edges;
+}
+
+CSRGraph watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
+  return CSRGraph::from_edges(n, watts_strogatz_edges(n, k, beta, seed),
+                              /*directed=*/false);
 }
 
 }  // namespace snap::gen

@@ -1,36 +1,160 @@
 #include "snap/io/edge_list_io.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstddef>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "snap/util/parallel.hpp"
 
 namespace snap::io {
 
-ParsedEdges read_edge_list(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open edge list: " + path);
-  ParsedEdges out;
+namespace {
+
+constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+
+/// Files below this size parse on one thread: team startup costs more than
+/// the parse.
+constexpr std::size_t kParallelParseCutoff = 1 << 16;
+
+inline const char* skip_ws(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+/// What one thread collects from its chunk of lines.
+struct ChunkResult {
+  EdgeList edges;
   vid_t max_id = -1;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      // Optional "# nodes: N" header.
-      const auto pos = line.find("nodes:");
-      if (pos != std::string::npos)
-        out.n = std::stoll(line.substr(pos + 6));
+  vid_t header_n = -1;      ///< last "# nodes: N" value seen, -1 if none
+  std::size_t bad = kNoError;  ///< byte offset of first malformed line
+};
+
+/// Parse the lines in buf[lo, hi) (lo is a line start; hi is one past the
+/// chunk's final newline, or buf.size() for the last chunk).
+ChunkResult parse_chunk(const std::string& buf, std::size_t lo,
+                        std::size_t hi) {
+  ChunkResult r;
+  const char* base = buf.data();
+  std::size_t pos = lo;
+  while (pos < hi) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(base + pos, '\n', hi - pos));
+    const std::size_t line_end = nl ? static_cast<std::size_t>(nl - base) : hi;
+    const char* p = skip_ws(base + pos, base + line_end);
+    const char* end = base + line_end;
+    if (p == end) {
+      pos = line_end + 1;
       continue;
     }
-    std::istringstream ls(line);
-    Edge e;
-    if (!(ls >> e.u >> e.v)) {
-      throw std::runtime_error("malformed edge list line: " + line);
+    if (*p == '#') {
+      // Optional "# nodes: N" header.
+      const std::string_view line(p, static_cast<std::size_t>(end - p));
+      const auto at = line.find("nodes:");
+      if (at != std::string_view::npos) {
+        const char* q = skip_ws(p + at + 6, end);
+        vid_t n = 0;
+        const auto [ptr, ec] = std::from_chars(q, end, n);
+        if (ec != std::errc{} ) {
+          if (r.bad == kNoError) r.bad = pos;
+        } else {
+          r.header_n = n;
+        }
+      }
+      pos = line_end + 1;
+      continue;
     }
-    if (!(ls >> e.w)) e.w = 1.0;
-    max_id = std::max({max_id, e.u, e.v});
-    out.edges.push_back(e);
+    Edge e;
+    auto [p1, ec1] = std::from_chars(p, end, e.u);
+    const char* p2 = skip_ws(p1, end);
+    auto [p3, ec2] = std::from_chars(p2, end, e.v);
+    if (ec1 != std::errc{} || ec2 != std::errc{} || p2 == p1) {
+      if (r.bad == kNoError) r.bad = pos;
+      pos = line_end + 1;
+      continue;
+    }
+    const char* p4 = skip_ws(p3, end);
+    auto [p5, ec3] = std::from_chars(p4, end, e.w);
+    if (ec3 != std::errc{}) e.w = 1.0;  // weight column absent (or junk)
+    r.max_id = std::max({r.max_id, e.u, e.v});
+    r.edges.push_back(e);
+    pos = line_end + 1;
   }
+  return r;
+}
+
+[[noreturn]] void throw_malformed(const std::string& buf, std::size_t at) {
+  const char* nl = static_cast<const char*>(
+      std::memchr(buf.data() + at, '\n', buf.size() - at));
+  const std::size_t line_end =
+      nl ? static_cast<std::size_t>(nl - buf.data()) : buf.size();
+  throw std::runtime_error("malformed edge list line: " +
+                           buf.substr(at, line_end - at));
+}
+
+}  // namespace
+
+ParsedEdges read_edge_list(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  const auto sz = in.tellg();
+  std::string buf(sz > 0 ? static_cast<std::size_t>(sz) : 0, '\0');
+  in.seekg(0);
+  if (!buf.empty()) in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+
+  const std::size_t len = buf.size();
+  int nt = parallel::num_threads();
+  if (len < kParallelParseCutoff) nt = 1;
+
+  // Chunk boundaries snap forward to the next line start, so every line is
+  // parsed by exactly one thread and chunk order is file order.
+  std::vector<std::size_t> start(static_cast<std::size_t>(nt) + 1, len);
+  start[0] = 0;
+  for (int t = 1; t < nt; ++t) {
+    std::size_t at = len * static_cast<std::size_t>(t) /
+                     static_cast<std::size_t>(nt);
+    if (at < start[static_cast<std::size_t>(t) - 1])
+      at = start[static_cast<std::size_t>(t) - 1];
+    const char* nl = static_cast<const char*>(
+        std::memchr(buf.data() + at, '\n', len - at));
+    start[static_cast<std::size_t>(t)] =
+        nl ? static_cast<std::size_t>(nl - buf.data()) + 1 : len;
+  }
+
+  std::vector<ChunkResult> chunk(static_cast<std::size_t>(nt));
+  parallel::run_team(nt, [&](int t) {
+    chunk[static_cast<std::size_t>(t)] =
+        parse_chunk(buf, start[static_cast<std::size_t>(t)],
+                    start[static_cast<std::size_t>(t) + 1]);
+  });
+
+  std::size_t bad = kNoError;
+  for (const ChunkResult& c : chunk) bad = std::min(bad, c.bad);
+  if (bad != kNoError) throw_malformed(buf, bad);
+
+  ParsedEdges out;
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t)
+    sizes[static_cast<std::size_t>(t)] =
+        chunk[static_cast<std::size_t>(t)].edges.size();
+  std::vector<std::size_t> offs;
+  parallel::exclusive_prefix_sum(sizes, offs);
+  out.edges.resize(offs[static_cast<std::size_t>(nt)]);
+  parallel::run_team(nt, [&](int t) {
+    const EdgeList& e = chunk[static_cast<std::size_t>(t)].edges;
+    std::copy(e.begin(), e.end(),
+              out.edges.begin() + static_cast<std::ptrdiff_t>(
+                                      offs[static_cast<std::size_t>(t)]));
+  });
+
+  vid_t max_id = -1;
+  for (const ChunkResult& c : chunk) max_id = std::max(max_id, c.max_id);
+  for (const ChunkResult& c : chunk)  // last header in file order wins
+    if (c.header_n >= 0) out.n = c.header_n;
   out.n = std::max(out.n, max_id + 1);
   return out;
 }

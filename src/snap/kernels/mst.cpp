@@ -22,9 +22,11 @@ MSTResult boruvka_mst(const CSRGraph& g) {
 
   // Rank edges by (weight, id): the component minimum then becomes an
   // integer atomic-min, which parallelizes cleanly and is deterministic.
+  // (weight, id) is a total order, so parallel_sort yields the same ranking
+  // at every thread count.
   std::vector<eid_t> order(static_cast<std::size_t>(m));
   std::iota(order.begin(), order.end(), eid_t{0});
-  std::sort(order.begin(), order.end(), [&](eid_t a, eid_t b) {
+  parallel::parallel_sort(order.begin(), order.end(), [&](eid_t a, eid_t b) {
     const weight_t wa = edges[static_cast<std::size_t>(a)].w;
     const weight_t wb = edges[static_cast<std::size_t>(b)].w;
     return wa != wb ? wa < wb : a < b;

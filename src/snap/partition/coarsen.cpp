@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "snap/util/parallel.hpp"
 #include "snap/util/rng.hpp"
 
 namespace snap {
@@ -71,10 +72,14 @@ CoarseLevel coarsen_heavy_edge(const CSRGraph& g,
     if (cu == cv) continue;  // interior edge collapses
     coarse_edges.push_back({std::min(cu, cv), std::max(cu, cv), e.w});
   }
-  std::sort(coarse_edges.begin(), coarse_edges.end(),
-            [](const Edge& a, const Edge& b) {
-              return a.u != b.u ? a.u < b.u : a.v < b.v;
-            });
+  // Total-order key (u, v, w): ties in (u, v) then carry equal weights, so
+  // the summed merge below is deterministic at every thread count.
+  parallel::parallel_sort(coarse_edges.begin(), coarse_edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            if (a.u != b.u) return a.u < b.u;
+                            if (a.v != b.v) return a.v < b.v;
+                            return a.w < b.w;
+                          });
   EdgeList merged;
   merged.reserve(coarse_edges.size());
   for (const Edge& e : coarse_edges) {

@@ -6,7 +6,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <iterator>
 #include <thread>
+#include <utility>
 #include <vector>
 
 // ThreadSanitizer cannot see libgomp's synchronization (GCC does not ship an
@@ -165,6 +168,144 @@ template <typename T>
 void exclusive_prefix_sum(const std::vector<T>& in, std::vector<T>& out) {
   out.resize(in.size() + 1);
   exclusive_prefix_sum(in.data(), out.data(), in.size());
+}
+
+/// Parallel max-reduction of f(i) over [0, n); returns `identity` for n = 0.
+/// Per-thread partials are combined in thread order (deterministic).
+template <typename T, typename Index, typename F>
+T parallel_reduce_max(Index n, F&& f, T identity = T{}) {
+  const int nt = num_threads();
+  if (nt <= 1 || n <= 1) {
+    T best = identity;
+    for (Index i = 0; i < n; ++i) best = std::max(best, f(i));
+    return best;
+  }
+  std::vector<T> partial(static_cast<std::size_t>(nt), identity);
+  run_team(nt, [&](int t) {
+    const Index lo = n * t / nt;
+    const Index hi = n * (t + 1) / nt;
+    T best = identity;
+    for (Index i = lo; i < hi; ++i) best = std::max(best, f(i));
+    partial[static_cast<std::size_t>(t)] = best;
+  });
+  T best = identity;
+  for (const T& p : partial) best = std::max(best, p);
+  return best;
+}
+
+namespace detail {
+/// Below this size the sample-sort scaffolding costs more than it saves.
+inline constexpr std::size_t kParallelSortCutoff = 1 << 14;
+}  // namespace detail
+
+/// Parallel sample sort.  Falls back to std::sort for small inputs or one
+/// thread.  Not stable: like std::sort, elements comparing equal end up in
+/// unspecified relative order — callers needing a reproducible layout (the
+/// CSR builder's dedupe does) must pass a comparator that is a total order.
+/// For a total-order comparator the output is the unique sorted sequence and
+/// therefore identical at every thread count.
+///
+/// Pipeline (§3-style prefix-sum orchestration, same shape as the CSR build):
+/// deterministic oversample -> splitters -> per-thread bucket histograms ->
+/// serial scan over the nt x nb histogram matrix -> scatter into bucket
+/// slices -> independent per-bucket std::sort with dynamic scheduling (a few
+/// buckets per thread absorb power-law key skew).
+template <typename RandomIt, typename Compare>
+void parallel_sort(RandomIt first, RandomIt last, Compare comp) {
+  using T = typename std::iterator_traits<RandomIt>::value_type;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  const int nt = num_threads();
+  if (nt <= 1 || n < detail::kParallelSortCutoff) {
+    std::sort(first, last, comp);
+    return;
+  }
+  // A few buckets per thread so the final per-bucket sorts load-balance even
+  // when the key distribution is skewed; capped so every bucket still has
+  // a few thousand expected elements.
+  const int nb = std::max(
+      2, std::min(nt * 4, static_cast<int>(n / (detail::kParallelSortCutoff /
+                                                4))));
+  // Deterministic oversample: evenly spaced elements (no RNG, so the
+  // splitters — and with a total-order comparator the full output — are a
+  // pure function of the input).
+  const std::size_t oversample = 32;
+  const std::size_t s = static_cast<std::size_t>(nb) * oversample;
+  std::vector<T> sample(s);
+  for (std::size_t i = 0; i < s; ++i) sample[i] = first[i * n / s];
+  std::sort(sample.begin(), sample.end(), comp);
+  std::vector<T> splitters(static_cast<std::size_t>(nb) - 1);
+  for (int j = 1; j < nb; ++j)
+    splitters[static_cast<std::size_t>(j) - 1] =
+        sample[static_cast<std::size_t>(j) * s / static_cast<std::size_t>(nb)];
+
+  auto bucket_of = [&](const T& x) {
+    return static_cast<std::size_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), x, comp) -
+        splitters.begin());
+  };
+
+  // Pass 1: per-thread bucket histograms over contiguous input blocks.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nt) *
+                                      static_cast<std::size_t>(nb),
+                                  0);
+  run_team(nt, [&](int t) {
+    const std::size_t lo = n * static_cast<std::size_t>(t) /
+                           static_cast<std::size_t>(nt);
+    const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
+                           static_cast<std::size_t>(nt);
+    std::size_t* c =
+        counts.data() + static_cast<std::size_t>(t) * static_cast<std::size_t>(nb);
+    for (std::size_t i = lo; i < hi; ++i) ++c[bucket_of(first[i])];
+  });
+
+  // Scan the histogram matrix bucket-major: write_pos[t][b] is where thread
+  // t's slice of bucket b starts; bucket_begin[b] bounds each bucket.
+  std::vector<std::size_t> write_pos(counts.size());
+  std::vector<std::size_t> bucket_begin(static_cast<std::size_t>(nb) + 1);
+  std::size_t run = 0;
+  for (int b = 0; b < nb; ++b) {
+    bucket_begin[static_cast<std::size_t>(b)] = run;
+    for (int t = 0; t < nt; ++t) {
+      const std::size_t idx = static_cast<std::size_t>(t) *
+                                  static_cast<std::size_t>(nb) +
+                              static_cast<std::size_t>(b);
+      write_pos[idx] = run;
+      run += counts[idx];
+    }
+  }
+  bucket_begin[static_cast<std::size_t>(nb)] = run;
+
+  // Pass 2: scatter into bucket slices (threads own disjoint output ranges).
+  std::vector<T> tmp(n);
+  run_team(nt, [&](int t) {
+    const std::size_t lo = n * static_cast<std::size_t>(t) /
+                           static_cast<std::size_t>(nt);
+    const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
+                           static_cast<std::size_t>(nt);
+    std::size_t* pos = write_pos.data() +
+                       static_cast<std::size_t>(t) * static_cast<std::size_t>(nb);
+    for (std::size_t i = lo; i < hi; ++i)
+      tmp[pos[bucket_of(first[i])]++] = std::move(first[i]);
+  });
+
+  // Pass 3: sort each bucket independently and copy back in place.
+  parallel_for_dynamic(
+      nb,
+      [&](int b) {
+        const std::size_t lo = bucket_begin[static_cast<std::size_t>(b)];
+        const std::size_t hi = bucket_begin[static_cast<std::size_t>(b) + 1];
+        std::sort(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+                  tmp.begin() + static_cast<std::ptrdiff_t>(hi), comp);
+        std::move(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+                  tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+                  first + static_cast<std::ptrdiff_t>(lo));
+      },
+      /*chunk=*/1);
+}
+
+template <typename RandomIt>
+void parallel_sort(RandomIt first, RandomIt last) {
+  parallel_sort(first, last, std::less<>{});
 }
 
 /// Atomically set `target = max(target, value)`; returns true if updated.

@@ -9,6 +9,7 @@
 #include "snap/io/dimacs_io.hpp"
 #include "snap/io/edge_list_io.hpp"
 #include "snap/io/metis_io.hpp"
+#include "snap/util/parallel.hpp"
 
 namespace snap {
 namespace {
@@ -61,6 +62,69 @@ TEST_F(IoTest, EdgeListParsesCommentsAndWeights) {
 TEST_F(IoTest, EdgeListMissingFileThrows) {
   EXPECT_THROW(io::read_edge_list("/nonexistent/file.txt"),
                std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListNoTrailingNewlineAndCrLf) {
+  const auto p = track(path("crlf.txt"));
+  {
+    std::ofstream out(p, std::ios::binary);
+    out << "0 1 2.0\r\n1 2\r\n2 3 0.5";  // CRLF endings, no final newline
+  }
+  const auto parsed = io::read_edge_list(p);
+  ASSERT_EQ(parsed.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.edges[0].w, 2.0);
+  EXPECT_DOUBLE_EQ(parsed.edges[1].w, 1.0);
+  EXPECT_DOUBLE_EQ(parsed.edges[2].w, 0.5);
+  EXPECT_EQ(parsed.n, 4);
+}
+
+TEST_F(IoTest, EdgeListMalformedLineThrows) {
+  const auto p = track(path("bad_line.txt"));
+  {
+    std::ofstream out(p);
+    out << "0 1\nnot an edge\n2 3\n";
+  }
+  EXPECT_THROW(io::read_edge_list(p), std::runtime_error);
+}
+
+TEST_F(IoTest, ChunkParallelParseMatchesSerialParse) {
+  // A file big enough to engage the chunk-parallel parser (> 64 KiB), with
+  // comments sprinkled through it; every thread count must parse the exact
+  // same edges in the exact same order.
+  const auto p = track(path("big.txt"));
+  constexpr int kLines = 20000;
+  {
+    std::ofstream out(p);
+    out << "# nodes: 5000\n";
+    for (int i = 0; i < kLines; ++i) {
+      if (i % 500 == 0) out << "# checkpoint " << i << "\n";
+      out << (i % 5000) << ' ' << ((i * 7 + 1) % 5000) << ' '
+          << (1.0 + i % 3) << "\n";
+    }
+  }
+  parallel::ThreadScope serial_scope(1);
+  const auto ref = io::read_edge_list(p);
+  ASSERT_EQ(ref.edges.size(), static_cast<std::size_t>(kLines));
+  EXPECT_EQ(ref.n, 5000);
+  for (int t : {2, 4, 8}) {
+    parallel::ThreadScope scope(t);
+    const auto got = io::read_edge_list(p);
+    ASSERT_EQ(got.edges.size(), ref.edges.size()) << "threads " << t;
+    EXPECT_EQ(got.n, ref.n) << "threads " << t;
+    for (std::size_t i = 0; i < ref.edges.size(); ++i)
+      ASSERT_EQ(got.edges[i], ref.edges[i]) << "threads " << t << " line " << i;
+  }
+}
+
+TEST_F(IoTest, LargeRoundtripThroughParallelReader) {
+  const auto g = gen::erdos_renyi(2000, 30000, /*directed=*/false, 17);
+  const auto p = track(path("roundtrip_big.txt"));
+  io::write_edge_list(g, p);
+  parallel::ThreadScope scope(8);
+  const auto back = io::read_edge_list_graph(p, /*directed=*/false);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  expect_same_graph(g, back);
 }
 
 TEST_F(IoTest, DimacsRoundtrip) {

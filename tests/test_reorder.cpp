@@ -1,0 +1,145 @@
+// Coverage for graph/reorder: relabeling must be a bijection that preserves
+// degrees and maps edges one-to-one, and graph kernels must be invariant
+// under it (BFS distances and connected-component structure only change
+// names, not values).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "snap/gen/generators.hpp"
+#include "snap/graph/reorder.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/connected_components.hpp"
+
+namespace snap {
+namespace {
+
+CSRGraph test_graph() {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  p.seed = 21;
+  return gen::rmat(p);
+}
+
+std::vector<Edge> canonical_edges(const CSRGraph& g,
+                                  const std::vector<vid_t>* old_to_new) {
+  std::vector<Edge> out;
+  out.reserve(g.edges().size());
+  for (Edge e : g.edges()) {
+    if (old_to_new) {
+      e.u = (*old_to_new)[static_cast<std::size_t>(e.u)];
+      e.v = (*old_to_new)[static_cast<std::size_t>(e.v)];
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.w < b.w;
+  });
+  return out;
+}
+
+TEST(Reorder, DegreeRelabelIsBijectiveAndPreservesDegrees) {
+  const CSRGraph g = test_graph();
+  const ReorderedGraph r = relabel_by_degree(g);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  ASSERT_EQ(r.new_to_old.size(), n);
+  ASSERT_EQ(r.old_to_new.size(), n);
+
+  // new_to_old and old_to_new are mutually inverse permutations.
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const vid_t old = r.new_to_old[i];
+    ASSERT_GE(old, 0);
+    ASSERT_LT(old, g.num_vertices());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(old)]) << "duplicate " << old;
+    seen[static_cast<std::size_t>(old)] = true;
+    EXPECT_EQ(r.old_to_new[static_cast<std::size_t>(old)],
+              static_cast<vid_t>(i));
+  }
+
+  // Degrees travel with the vertex, and the relabeled order is by
+  // descending degree (the point of the transform).
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(r.graph.degree(static_cast<vid_t>(i)),
+              g.degree(r.new_to_old[i]));
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_GE(r.graph.degree(static_cast<vid_t>(i - 1)),
+              r.graph.degree(static_cast<vid_t>(i)));
+}
+
+TEST(Reorder, EdgesMapBijectively) {
+  const CSRGraph g = test_graph();
+  const ReorderedGraph r = relabel_by_degree(g);
+  // The relabeled graph's edge multiset equals the original's mapped
+  // through old_to_new (canonicalized, since relabeling may flip u/v order).
+  const auto expected = canonical_edges(g, &r.old_to_new);
+  const auto got = canonical_edges(r.graph, nullptr);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "edge " << i;
+}
+
+TEST(Reorder, BfsDistancesInvariantUnderRelabel) {
+  const CSRGraph g = test_graph();
+  const ReorderedGraph r = relabel_by_degree(g);
+  for (const vid_t s : {vid_t{0}, g.num_vertices() / 2}) {
+    const BFSResult orig = bfs_serial(g, s);
+    const BFSResult rel =
+        bfs_serial(r.graph, r.old_to_new[static_cast<std::size_t>(s)]);
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(rel.dist[static_cast<std::size_t>(
+                    r.old_to_new[static_cast<std::size_t>(v)])],
+                orig.dist[static_cast<std::size_t>(v)])
+          << "vertex " << v;
+    EXPECT_EQ(rel.num_visited, orig.num_visited);
+    EXPECT_EQ(rel.num_levels, orig.num_levels);
+  }
+}
+
+TEST(Reorder, ConnectedComponentsInvariantUnderRelabel) {
+  // A deliberately disconnected graph: two planted clusters.
+  const CSRGraph g = gen::planted_partition(600, 6, 6.0, 0.0, 13);
+  const ReorderedGraph r = relabel_by_degree(g);
+  const Components a = connected_components(g);
+  const Components b = connected_components(r.graph);
+  EXPECT_EQ(a.count, b.count);
+  // Same partition up to renaming: any vertex pair lands in one component
+  // before relabeling iff it does after.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (vid_t v = u + 1; v < std::min(g.num_vertices(), u + 20); ++v) {
+      const bool same_orig = a.label[static_cast<std::size_t>(u)] ==
+                             a.label[static_cast<std::size_t>(v)];
+      const bool same_rel =
+          b.label[static_cast<std::size_t>(
+              r.old_to_new[static_cast<std::size_t>(u)])] ==
+          b.label[static_cast<std::size_t>(
+              r.old_to_new[static_cast<std::size_t>(v)])];
+      EXPECT_EQ(same_orig, same_rel) << u << " vs " << v;
+    }
+  }
+}
+
+TEST(Reorder, BfsRelabelCoversAllVertices) {
+  const CSRGraph g = test_graph();
+  const ReorderedGraph r = relabel_by_bfs(g, 0);
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_vertices()), false);
+  for (const vid_t old : r.new_to_old) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(old)]);
+    seen[static_cast<std::size_t>(old)] = true;
+  }
+}
+
+TEST(Reorder, RejectsNonPermutations) {
+  const CSRGraph g = gen::path_graph(4);
+  EXPECT_THROW(relabel(g, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(relabel(g, {0, 1, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(relabel(g, {0, 1, 2, 7}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <numeric>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "snap/util/bitmap.hpp"
@@ -146,6 +150,94 @@ TEST(Bitmap, ClearResets) {
   bm.clear();
   EXPECT_FALSE(bm.test(63));
   EXPECT_FALSE(bm.test(64));
+}
+
+// --- parallel_sort: differential vs std::sort on adversarial inputs ---
+
+enum class FillPattern { kSorted, kReversed, kAllEqual, kRandom, kSawtooth };
+
+std::vector<std::int64_t> make_input(FillPattern p, std::size_t n) {
+  std::vector<std::int64_t> v(n);
+  SplitMix64 rng(n + 17);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (p) {
+      case FillPattern::kSorted:
+        v[i] = static_cast<std::int64_t>(i);
+        break;
+      case FillPattern::kReversed:
+        v[i] = static_cast<std::int64_t>(n - i);
+        break;
+      case FillPattern::kAllEqual:
+        v[i] = 42;
+        break;
+      case FillPattern::kRandom:
+        v[i] = static_cast<std::int64_t>(rng.next_bounded(1u << 20));
+        break;
+      case FillPattern::kSawtooth:
+        v[i] = static_cast<std::int64_t>(i % 7);
+        break;
+    }
+  }
+  return v;
+}
+
+using SortCase = std::tuple<int /*pattern*/, int /*threads*/, std::size_t>;
+
+class ParallelSortTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(ParallelSortTest, MatchesStdSort) {
+  const auto [pat, threads, n] = GetParam();
+  auto input = make_input(static_cast<FillPattern>(pat), n);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  parallel::ThreadScope scope(threads);
+  parallel::parallel_sort(input.begin(), input.end());
+  EXPECT_EQ(input, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsThreadsSizes, ParallelSortTest,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(1, 4, 8),
+                       // straddle the serial-fallback cutoff (1 << 14)
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{1000},
+                                         std::size_t{16383},
+                                         std::size_t{16384},
+                                         std::size_t{100000})));
+
+TEST(ParallelSort, CustomComparatorDescending) {
+  parallel::ThreadScope scope(8);
+  auto input = make_input(FillPattern::kRandom, 50000);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end(), std::greater<>{});
+  parallel::parallel_sort(input.begin(), input.end(), std::greater<>{});
+  EXPECT_EQ(input, expected);
+}
+
+TEST(ParallelSort, TotalOrderKeyIsThreadCountInvariant) {
+  // With a total-order comparator the output must be byte-identical at
+  // every thread count — this is what the CSR builder's dedupe relies on.
+  auto base = make_input(FillPattern::kRandom, 60000);
+  std::vector<std::vector<std::int64_t>> results;
+  for (int t : {1, 2, 4, 8}) {
+    parallel::ThreadScope scope(t);
+    auto v = base;
+    parallel::parallel_sort(v.begin(), v.end());
+    results.push_back(std::move(v));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_EQ(results[i], results[0]) << "thread config " << i;
+}
+
+TEST(Parallel, ReduceMax) {
+  parallel::ThreadScope scope(4);
+  const std::int64_t n = 100000;
+  const auto best = parallel::parallel_reduce_max<std::int64_t>(
+      n, [](std::int64_t i) { return (i * 2654435761u) % 99991; });
+  std::int64_t expected = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    expected = std::max(expected, (i * 2654435761u) % 99991);
+  EXPECT_EQ(best, expected);
 }
 
 TEST(Timer, MeasuresNonNegativeAndResets) {
