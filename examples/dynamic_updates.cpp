@@ -10,6 +10,9 @@
 #include "snap/graph/csr_graph.hpp"
 #include "snap/gen/generators.hpp"
 #include "snap/kernels/connected_components.hpp"
+#include "snap/stream/observers.hpp"
+#include "snap/stream/streaming_graph.hpp"
+#include "snap/stream/update_batch.hpp"
 #include "snap/util/rng.hpp"
 #include "snap/util/timer.hpp"
 
@@ -77,6 +80,39 @@ int main() {
               t.elapsed_s());
   std::printf(
       "\nPattern: ingest and churn on the dynamic hybrid structure, then\n"
-      "snapshot to CSR whenever a batch of static analysis is due.\n");
+      "snapshot to CSR whenever a batch of static analysis is due.\n\n");
+
+  // Phase 4: the batched engine — wrap the dynamic graph in a
+  // StreamingGraph, attach incremental analytics, and apply updates in
+  // parallel batches instead of one edge at a time.
+  stream::StreamingGraph sg(std::move(dyn));
+  stream::ComponentsObserver comps_obs(sg.graph());
+  stream::DegreeStatsObserver deg_obs(sg.graph());
+  sg.add_observer(&comps_obs);
+  sg.add_observer(&deg_obs);
+
+  t.reset();
+  eid_t batched_inserts = 0;
+  for (int b = 0; b < 10; ++b) {
+    stream::UpdateBatch batch;
+    for (int i = 0; i < 20000; ++i) {
+      const auto u = static_cast<vid_t>(rng.next_bounded(n));
+      const auto v = static_cast<vid_t>(rng.next_bounded(n));
+      if (rng.next_bounded(5) == 0)
+        batch.erase(u, v, static_cast<std::uint64_t>(i));
+      else
+        batch.insert(u, v, static_cast<std::uint64_t>(i));
+    }
+    batched_inserts += static_cast<eid_t>(sg.apply(batch).applied_inserts);
+  }
+  std::printf(
+      "streaming engine: 10 batches x 20k updates in %.2fs "
+      "(%lld effective inserts)\n",
+      t.elapsed_s(), static_cast<long long>(batched_inserts));
+  std::printf(
+      "maintained analytics: %lld components, max degree %lld — no\n"
+      "from-scratch recomputation, observers updated per batch.\n",
+      static_cast<long long>(comps_obs.num_components()),
+      static_cast<long long>(deg_obs.max_degree()));
   return 0;
 }

@@ -6,29 +6,6 @@ namespace snap {
 
 namespace {
 
-/// Stateless hash giving each key a pseudo-random heap priority, so a treap's
-/// shape depends only on its key set (canonical form — vital for composable
-/// split/join/union without shared RNG state).
-std::uint64_t priority_of(std::int64_t key) {
-  auto z = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
-struct Treap::Node {
-  std::int64_t key;
-  std::uint64_t prio;
-  Node* left = nullptr;
-  Node* right = nullptr;
-
-  explicit Node(std::int64_t k) : key(k), prio(priority_of(k)) {}
-};
-
-namespace {
-
 using Node = Treap::Node;
 
 void free_tree(Node* t) {
@@ -168,13 +145,6 @@ Node* difference_trees(Node* a, Node* b) {
   return join(difference_trees(lo, bl), difference_trees(hi, br));
 }
 
-void traverse(const Node* t, const std::function<void(std::int64_t)>& fn) {
-  if (!t) return;
-  traverse(t->left, fn);
-  fn(t->key);
-  traverse(t->right, fn);
-}
-
 Node* build_sorted(const std::vector<std::int64_t>& keys, std::size_t lo,
                    std::size_t hi) {
   // Build by cartesian-tree construction over hash priorities: pick the max
@@ -182,9 +152,9 @@ Node* build_sorted(const std::vector<std::int64_t>& keys, std::size_t lo,
   // average); adequate for construction from adjacency snapshots.
   if (lo >= hi) return nullptr;
   std::size_t best = lo;
-  std::uint64_t best_p = priority_of(keys[lo]);
+  std::uint64_t best_p = detail::treap_priority(keys[lo]);
   for (std::size_t i = lo + 1; i < hi; ++i) {
-    const std::uint64_t p = priority_of(keys[i]);
+    const std::uint64_t p = detail::treap_priority(keys[i]);
     if (p > best_p) {
       best_p = p;
       best = i;
@@ -249,14 +219,10 @@ bool Treap::lower_bound(std::int64_t key, std::int64_t& out) const {
   return found;
 }
 
-void Treap::for_each(const std::function<void(std::int64_t)>& fn) const {
-  traverse(root_, fn);
-}
-
 std::vector<std::int64_t> Treap::to_vector() const {
   std::vector<std::int64_t> out;
   out.reserve(size_);
-  traverse(root_, [&](std::int64_t k) { out.push_back(k); });
+  for_each([&](std::int64_t k) { out.push_back(k); });
   return out;
 }
 

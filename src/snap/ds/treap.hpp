@@ -1,10 +1,21 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 namespace snap {
+
+namespace detail {
+/// Stateless hash giving each key a pseudo-random heap priority, so a treap's
+/// shape depends only on its key set (canonical form — vital for composable
+/// split/join/union without shared RNG state).
+inline std::uint64_t treap_priority(std::int64_t key) {
+  auto z = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
 
 /// Randomized search tree (treap) over int64 keys.
 ///
@@ -43,8 +54,12 @@ class Treap {
   /// Smallest key >= `key`, or nullopt-like: returns false if none.
   bool lower_bound(std::int64_t key, std::int64_t& out) const;
 
-  /// In-order traversal.
-  void for_each(const std::function<void(std::int64_t)>& fn) const;
+  /// In-order traversal.  Template visitor — inlines into hot loops (the
+  /// dynamic graph's neighbor iteration) with no std::function indirection.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(root_, fn);
+  }
 
   /// All keys in ascending order.
   [[nodiscard]] std::vector<std::int64_t> to_vector() const;
@@ -66,9 +81,26 @@ class Treap {
   /// Build from a sorted, deduplicated key range in O(n).
   static Treap from_sorted(const std::vector<std::int64_t>& keys);
 
-  struct Node;  // defined in treap.cpp; public so file-local helpers can use it
+  /// In the header (rather than treap.cpp) so the template for_each can walk
+  /// the tree; treap.cpp's file-local helpers use it too.
+  struct Node {
+    std::int64_t key;
+    std::uint64_t prio;
+    Node* left = nullptr;
+    Node* right = nullptr;
+
+    explicit Node(std::int64_t k) : key(k), prio(detail::treap_priority(k)) {}
+  };
 
  private:
+  template <typename Fn>
+  static void walk(const Node* t, Fn& fn) {
+    if (!t) return;
+    walk(t->left, fn);
+    fn(t->key);
+    walk(t->right, fn);
+  }
+
   Node* root_ = nullptr;
   std::size_t size_ = 0;
 };

@@ -20,6 +20,19 @@ class UnionFind {
     num_sets_ = n;
   }
 
+  /// Extend to n elements, keeping existing sets; new elements are
+  /// singletons.  Lets streaming consumers absorb vertex growth without a
+  /// reset (a reset would forget every union performed so far).
+  void grow(std::size_t n) {
+    const std::size_t old = parent_.size();
+    if (n <= old) return;
+    parent_.resize(n);
+    std::iota(parent_.begin() + static_cast<std::ptrdiff_t>(old),
+              parent_.end(), static_cast<std::int64_t>(old));
+    size_.resize(n, 1);
+    num_sets_ += n - old;
+  }
+
   [[nodiscard]] std::size_t size() const { return parent_.size(); }
   [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
 

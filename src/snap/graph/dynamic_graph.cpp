@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "snap/graph/csr_graph.hpp"
+#include "snap/util/parallel.hpp"
 
 namespace snap {
 
@@ -16,6 +17,12 @@ vid_t DynamicGraph::add_vertex() {
   flat_.emplace_back();
   treap_.emplace_back();
   return static_cast<vid_t>(flat_.size()) - 1;
+}
+
+void DynamicGraph::ensure_vertices(vid_t n) {
+  if (n <= num_vertices()) return;
+  flat_.resize(static_cast<std::size_t>(n));
+  treap_.resize(static_cast<std::size_t>(n));
 }
 
 bool DynamicGraph::insert_arc(vid_t u, vid_t v) {
@@ -73,22 +80,32 @@ eid_t DynamicGraph::degree(vid_t v) const {
 
 void DynamicGraph::for_each_neighbor(
     vid_t v, const std::function<void(vid_t)>& fn) const {
-  if (!treap_[v].empty()) {
-    treap_[v].for_each(fn);
-  } else {
-    for (vid_t u : flat_[v]) fn(u);
-  }
+  for_each_neighbor(v, [&fn](vid_t u) { fn(u); });
 }
 
 CSRGraph DynamicGraph::to_csr() const {
-  EdgeList edges;
-  edges.reserve(static_cast<std::size_t>(m_));
   const vid_t n = num_vertices();
-  for (vid_t u = 0; u < n; ++u) {
+  // Two passes: per-vertex emitted-edge counts -> prefix sum -> parallel fill
+  // of disjoint slices.  Slice order is the deterministic per-vertex visit
+  // order, so the edge list (and the CSR built from it) is identical at every
+  // thread count.
+  std::vector<eid_t> cnt(static_cast<std::size_t>(n), 0);
+  parallel::parallel_for(n, [&](vid_t u) {
+    eid_t c = 0;
     for_each_neighbor(u, [&](vid_t v) {
-      if (directed_ || u <= v) edges.push_back({u, v, 1.0});
+      if (directed_ || u <= v) ++c;
     });
-  }
+    cnt[static_cast<std::size_t>(u)] = c;
+  });
+  std::vector<eid_t> offs;
+  parallel::exclusive_prefix_sum(cnt, offs);
+  EdgeList edges(static_cast<std::size_t>(offs[static_cast<std::size_t>(n)]));
+  parallel::parallel_for(n, [&](vid_t u) {
+    eid_t at = offs[static_cast<std::size_t>(u)];
+    for_each_neighbor(u, [&](vid_t v) {
+      if (directed_ || u <= v) edges[static_cast<std::size_t>(at++)] = {u, v, 1.0};
+    });
+  });
   return CSRGraph::from_edges(n, edges, directed_);
 }
 

@@ -10,6 +10,10 @@ namespace snap {
 
 class CSRGraph;
 
+namespace stream {
+class StreamingGraph;
+}  // namespace stream
+
 /// Dynamic graph with the degree-hybrid adjacency layout of §3 ("Data
 /// Representation"): small-world degree distributions are heavily skewed, so
 /// adjacencies of the many low-degree vertices live in simple unsorted
@@ -33,6 +37,9 @@ class DynamicGraph {
   /// Append a fresh isolated vertex; returns its id.
   vid_t add_vertex();
 
+  /// Grow to at least n vertices (no-op if already that large).
+  void ensure_vertices(vid_t n);
+
   /// Insert edge (u, v); returns false if it already exists.
   bool insert_edge(vid_t u, vid_t v);
 
@@ -46,16 +53,38 @@ class DynamicGraph {
   /// True if v's adjacency currently lives in a treap.
   [[nodiscard]] bool is_promoted(vid_t v) const { return !treap_[v].empty(); }
 
+  /// Visit every neighbor of v.  Template form: the visitor inlines into the
+  /// adjacency walk (flat array or treap), which is what the streaming
+  /// observers' and to_csr's hot loops want.
+  template <typename Fn>
+  void for_each_neighbor(vid_t v, Fn&& fn) const {
+    const auto s = static_cast<std::size_t>(v);
+    if (!treap_[s].empty()) {
+      treap_[s].for_each([&fn](std::int64_t k) { fn(static_cast<vid_t>(k)); });
+    } else {
+      for (vid_t u : flat_[s]) fn(u);
+    }
+  }
+
+  /// ABI-friendly non-template overload (kept for existing out-of-line
+  /// callers; lambdas resolve to the template above).
   void for_each_neighbor(vid_t v,
                          const std::function<void(vid_t)>& fn) const;
 
-  /// Snapshot to the static CSR representation (sorted adjacency).
+  /// Snapshot to the static CSR representation (sorted adjacency).  Edge
+  /// extraction is parallel (per-vertex counts + prefix sum); the result is
+  /// identical at every thread count.
   [[nodiscard]] CSRGraph to_csr() const;
 
   /// Load all edges of a CSR graph (must share directedness).
   static DynamicGraph from_csr(const CSRGraph& g, eid_t promote_threshold = 128);
 
  private:
+  // The streaming engine applies canonicalized batches arc-by-arc, with every
+  // vertex's adjacency owned by exactly one thread; it needs the arc
+  // primitives and fixes up m_ itself.
+  friend class stream::StreamingGraph;
+
   bool directed_;
   eid_t promote_threshold_;
   eid_t m_ = 0;

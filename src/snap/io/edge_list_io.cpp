@@ -51,8 +51,13 @@ ChunkResult parse_chunk(const std::string& buf, std::size_t lo,
       pos = line_end + 1;
       continue;
     }
+    if (*p == '%') {
+      // KONECT-style comment line.
+      pos = line_end + 1;
+      continue;
+    }
     if (*p == '#') {
-      // Optional "# nodes: N" header.
+      // SNAP-style comment line, with an optional "# nodes: N" header.
       const std::string_view line(p, static_cast<std::size_t>(end - p));
       const auto at = line.find("nodes:");
       if (at != std::string_view::npos) {

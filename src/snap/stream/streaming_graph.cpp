@@ -1,0 +1,127 @@
+#include "snap/stream/streaming_graph.hpp"
+
+#include <cstdint>
+
+#include "snap/util/parallel.hpp"
+
+namespace snap::stream {
+
+StreamingGraph::StreamingGraph(vid_t n, bool directed, eid_t promote_threshold)
+    : graph_(n, directed, promote_threshold) {}
+
+StreamingGraph::StreamingGraph(DynamicGraph graph)
+    : graph_(std::move(graph)) {}
+
+StreamingGraph StreamingGraph::from_csr(const CSRGraph& g,
+                                        eid_t promote_threshold) {
+  return StreamingGraph(DynamicGraph::from_csr(g, promote_threshold));
+}
+
+void StreamingGraph::add_observer(StreamObserver* obs) {
+  if (obs) observers_.push_back(obs);
+}
+
+ApplyStats StreamingGraph::apply(const UpdateBatch& batch) {
+  return apply_canonical(batch.canonicalize(graph_.directed()));
+}
+
+ApplyStats StreamingGraph::apply_serial(const UpdateBatch& batch) {
+  parallel::ThreadScope scope(1);
+  return apply(batch);
+}
+
+ApplyStats StreamingGraph::apply_canonical(const CanonicalBatch& cb) {
+  ApplyStats st;
+  st.raw_records = cb.raw_records;
+  st.canonical_arcs = cb.arcs.size();
+  const bool directed = graph_.directed();
+  if (cb.max_vid >= graph_.num_vertices())
+    graph_.ensure_vertices(cb.max_vid + 1);
+
+  const std::vector<ArcUpdate>& arcs = cb.arcs;
+  const std::size_t na = arcs.size();
+
+  AppliedBatch ab;
+  if (na > 0) {
+    // Group the sorted arc array by owner.  A group is the contiguous run of
+    // updates landing in one vertex's adjacency; groups are applied with
+    // dynamic scheduling (hub vertices can receive most of a batch), each
+    // group entirely by one thread — the no-lock ownership discipline.
+    std::vector<eid_t> head(na);
+    parallel::parallel_for(na, [&](std::size_t i) {
+      head[i] = (i == 0 || arcs[i].owner != arcs[i - 1].owner) ? 1 : 0;
+    });
+    std::vector<eid_t> group_of;
+    parallel::exclusive_prefix_sum(head, group_of);
+    const auto ngroups = static_cast<std::size_t>(group_of[na]);
+    std::vector<std::size_t> group_begin(ngroups + 1, na);
+    parallel::parallel_for(na, [&](std::size_t i) {
+      if (head[i]) group_begin[static_cast<std::size_t>(group_of[i])] = i;
+    });
+
+    // Apply.  insert_arc/delete_arc report whether the arc actually changed
+    // state; within a group arcs are applied in (nbr, seq) order, so flat
+    // array contents, promotion points and treap shapes are all deterministic.
+    std::vector<std::uint8_t> eff(na, 0);
+    parallel::parallel_for_dynamic(
+        ngroups,
+        [&](std::size_t g) {
+          const std::size_t lo = group_begin[g];
+          const std::size_t hi = group_begin[g + 1];
+          for (std::size_t i = lo; i < hi; ++i) {
+            const ArcUpdate& a = arcs[i];
+            eff[i] = a.kind == UpdateKind::kInsert
+                         ? graph_.insert_arc(a.owner, a.nbr)
+                         : graph_.delete_arc(a.owner, a.nbr);
+          }
+        },
+        /*chunk=*/8);
+
+    // Effective logical edge changes: for undirected graphs the two arcs of
+    // an edge are always both effective or both not (the adjacency mirror
+    // invariant plus symmetric canonicalization), so the owner <= nbr arc
+    // stands for the edge.  Compaction keeps the sorted (u, v) order.
+    std::vector<eid_t> fi(na), fd(na);
+    parallel::parallel_for(na, [&](std::size_t i) {
+      const ArcUpdate& a = arcs[i];
+      const bool logical = eff[i] && (directed || a.owner <= a.nbr);
+      fi[i] = (logical && a.kind == UpdateKind::kInsert) ? 1 : 0;
+      fd[i] = (logical && a.kind == UpdateKind::kDelete) ? 1 : 0;
+    });
+    std::vector<eid_t> oi, od;
+    parallel::exclusive_prefix_sum(fi, oi);
+    parallel::exclusive_prefix_sum(fd, od);
+    ab.inserted.resize(static_cast<std::size_t>(oi[na]));
+    ab.deleted.resize(static_cast<std::size_t>(od[na]));
+    parallel::parallel_for(na, [&](std::size_t i) {
+      const ArcUpdate& a = arcs[i];
+      if (fi[i])
+        ab.inserted[static_cast<std::size_t>(oi[i])] = {a.owner, a.nbr};
+      if (fd[i])
+        ab.deleted[static_cast<std::size_t>(od[i])] = {a.owner, a.nbr};
+    });
+
+    graph_.m_ += static_cast<eid_t>(ab.inserted.size()) -
+                 static_cast<eid_t>(ab.deleted.size());
+  }
+
+  st.applied_inserts = ab.inserted.size();
+  st.applied_deletes = ab.deleted.size();
+
+  ++epoch_;
+  ab.epoch = epoch_;
+  ab.num_vertices = graph_.num_vertices();
+  ab.graph = &graph_;
+  for (StreamObserver* obs : observers_) obs->on_batch(ab);
+  return st;
+}
+
+const CSRGraph& StreamingGraph::snapshot() const {
+  if (snapshot_epoch_ != epoch_) {
+    snapshot_ = graph_.to_csr();
+    snapshot_epoch_ = epoch_;
+  }
+  return snapshot_;
+}
+
+}  // namespace snap::stream

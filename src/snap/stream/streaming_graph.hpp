@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/graph/dynamic_graph.hpp"
+#include "snap/stream/update_batch.hpp"
+
+namespace snap::stream {
+
+/// The effective (state-changing) logical edge changes of one applied batch,
+/// handed to observers.  Lists hold canonical endpoint pairs (u <= v for
+/// undirected graphs), sorted ascending, each edge at most once, and
+/// `inserted` and `deleted` are disjoint — the last-writer-wins
+/// canonicalization guarantees at most one surviving update per edge.
+/// `graph` points at the post-batch state.
+struct AppliedBatch {
+  std::uint64_t epoch = 0;
+  vid_t num_vertices = 0;
+  const DynamicGraph* graph = nullptr;
+  std::vector<std::pair<vid_t, vid_t>> inserted;
+  std::vector<std::pair<vid_t, vid_t>> deleted;
+};
+
+/// Observer contract: on_batch fires once per applied batch, after the graph
+/// reached its post-batch state, in observer registration order, on the
+/// applying thread.  Observers constructed over the same DynamicGraph the
+/// StreamingGraph owns can therefore fold `inserted`/`deleted` into
+/// incrementally-maintained analytics without ever rescanning the graph.
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+  virtual void on_batch(const AppliedBatch& batch) = 0;
+};
+
+/// What one apply() call did.
+struct ApplyStats {
+  std::size_t raw_records = 0;     ///< records in the incoming batch
+  std::size_t canonical_arcs = 0;  ///< arcs surviving canonicalization
+  std::size_t applied_inserts = 0; ///< logical edges actually inserted
+  std::size_t applied_deletes = 0; ///< logical edges actually deleted
+};
+
+/// Batched, parallel edge updates over the §3 degree-hybrid DynamicGraph —
+/// the streaming-ingest front door (PAPER §6's "topological analysis of
+/// dynamic networks").
+///
+/// apply() canonicalizes the batch (see UpdateBatch::canonicalize) and then
+/// applies it with updates grouped per owning vertex: every vertex's
+/// adjacency is touched by exactly one thread, so there are no locks and the
+/// post-batch graph — including internal flat-array order and treap
+/// promotions — is byte-identical at any thread count, and equal to serial
+/// one-edge-at-a-time application of the raw record sequence.
+class StreamingGraph {
+ public:
+  explicit StreamingGraph(vid_t n = 0, bool directed = false,
+                          eid_t promote_threshold = 128);
+  explicit StreamingGraph(DynamicGraph graph);
+  static StreamingGraph from_csr(const CSRGraph& g,
+                                 eid_t promote_threshold = 128);
+
+  [[nodiscard]] const DynamicGraph& graph() const { return graph_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Register a non-owning observer; it must outlive the StreamingGraph (or
+  /// at least every subsequent apply()).
+  void add_observer(StreamObserver* obs);
+
+  /// Apply a batch in parallel; returns what actually changed.
+  ApplyStats apply(const UpdateBatch& batch);
+
+  /// Same semantics on one thread (the benchable serial reference; also what
+  /// apply() degrades to under parallel::set_num_threads(1)).
+  ApplyStats apply_serial(const UpdateBatch& batch);
+
+  /// Epoch-cached CSR snapshot for the static kernels: rebuilt only when a
+  /// batch has been applied since the last call, so interleaving many static
+  /// analyses between batches costs one to_csr per epoch.
+  const CSRGraph& snapshot() const;
+
+ private:
+  ApplyStats apply_canonical(const CanonicalBatch& cb);
+
+  DynamicGraph graph_;
+  std::vector<StreamObserver*> observers_;
+  std::uint64_t epoch_ = 0;
+  mutable CSRGraph snapshot_;
+  mutable std::uint64_t snapshot_epoch_ = static_cast<std::uint64_t>(-1);
+};
+
+}  // namespace snap::stream

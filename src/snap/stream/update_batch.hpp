@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "snap/graph/types.hpp"
+
+namespace snap::stream {
+
+enum class UpdateKind : std::uint8_t { kInsert = 0, kDelete = 1 };
+
+/// One timestamped logical edge update, exactly as it arrived from the
+/// stream.  `time` is a caller-supplied timestamp carried through for
+/// observers/provenance; ordering within a batch is by arrival index.
+struct UpdateRecord {
+  vid_t u = kInvalidVid;
+  vid_t v = kInvalidVid;
+  std::uint64_t time = 0;
+  UpdateKind kind = UpdateKind::kInsert;
+
+  friend bool operator==(const UpdateRecord&, const UpdateRecord&) = default;
+};
+
+/// One arc-level update after canonicalization.  `owner` is the vertex whose
+/// adjacency the update lands in; undirected updates expand to two arcs.
+struct ArcUpdate {
+  vid_t owner = kInvalidVid;
+  vid_t nbr = kInvalidVid;
+  eid_t seq = 0;  ///< arrival index within the batch (last-writer-wins key)
+  UpdateKind kind = UpdateKind::kInsert;
+};
+
+/// Canonical arc-level view of a batch: arcs sorted by (owner, nbr), at most
+/// one surviving record per (owner, nbr) — the record with the highest
+/// arrival index (last writer wins), so an insert and a delete of the same
+/// edge in one batch resolve exactly as serial in-order application would.
+struct CanonicalBatch {
+  std::vector<ArcUpdate> arcs;
+  vid_t max_vid = -1;           ///< largest vertex id referenced, -1 if none
+  std::size_t raw_records = 0;  ///< batch size before canonicalization
+};
+
+/// A vector of timestamped insert/delete records, accumulated by the ingest
+/// front-end and handed to StreamingGraph::apply as one unit.
+class UpdateBatch {
+ public:
+  /// Queue insertion of edge (u, v).  Throws std::invalid_argument on
+  /// negative vertex ids; ids beyond the target graph's current size make
+  /// the graph grow on apply.
+  void insert(vid_t u, vid_t v, std::uint64_t time = 0);
+
+  /// Queue deletion of edge (u, v).
+  void erase(vid_t u, vid_t v, std::uint64_t time = 0);
+
+  void clear() { records_.clear(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] const std::vector<UpdateRecord>& records() const {
+    return records_;
+  }
+
+  /// Parallel canonicalization: undirected arc expansion, sample sort by
+  /// (owner, nbr, seq), last-writer-wins dedupe via flag + prefix-sum
+  /// compaction.  Every step is a pure function of the record sequence, so
+  /// the result is identical at every thread count.
+  [[nodiscard]] CanonicalBatch canonicalize(bool directed) const;
+
+ private:
+  std::vector<UpdateRecord> records_;
+};
+
+}  // namespace snap::stream

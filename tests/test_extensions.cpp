@@ -110,6 +110,41 @@ TEST(IncrementalComponents, DeletionGoesStaleAndRebuilds) {
   EXPECT_EQ(ic.rebuilds(), 1);
 }
 
+TEST(IncrementalComponents, RebuildCostAmortizesOverQueryBursts) {
+  // Regression: a burst of deletions followed by a burst of queries must cost
+  // exactly one rebuild — the stale flag defers the rebuild to the first
+  // query, and subsequent queries reuse it.
+  const vid_t n = 32;
+  DynamicGraph dg(n, false);
+  IncrementalComponents ic(dg);
+  for (vid_t v = 0; v + 1 < n; ++v) {
+    dg.insert_edge(v, v + 1);
+    ic.on_insert(v, v + 1);
+  }
+  EXPECT_EQ(ic.rebuilds(), 0);
+
+  for (int round = 1; round <= 3; ++round) {
+    // Delete several edges: still just one (deferred) rebuild pending.
+    for (vid_t v = 0; v < 4; ++v) {
+      const vid_t u = static_cast<vid_t>(8 * (round - 1)) + 2 * v;
+      dg.delete_edge(u, u + 1);
+      ic.on_delete(u, u + 1);
+    }
+    EXPECT_TRUE(ic.stale());
+    for (int q = 0; q < 100; ++q) {
+      ic.num_components();
+      ic.connected(0, n - 1);
+    }
+    EXPECT_EQ(ic.rebuilds(), round) << "one rebuild per deletion burst";
+  }
+
+  // Insert-only traffic after a rebuild folds in with no further rebuilds.
+  dg.insert_edge(0, 1);
+  ic.on_insert(0, 1);
+  for (int q = 0; q < 100; ++q) ic.num_components();
+  EXPECT_EQ(ic.rebuilds(), 3);
+}
+
 TEST(IncrementalComponents, DeletionInsideCycleKeepsConnectivity) {
   DynamicGraph dg(3, false);
   IncrementalComponents ic(dg);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "snap/gen/generators.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/graph/dynamic_graph.hpp"
 #include "snap/graph/subgraph.hpp"
@@ -223,6 +224,74 @@ TEST(DynamicGraph, DirectedMode) {
   EXPECT_TRUE(d.insert_edge(1, 0));
   EXPECT_EQ(d.num_edges(), 2);
 }
+
+// Promotion boundary: the flat→treap migration point across small and large
+// thresholds, the revert when a treap empties, and the CSR round trip in the
+// promoted state.
+
+class DynamicGraphPromotion : public ::testing::TestWithParam<eid_t> {};
+
+TEST_P(DynamicGraphPromotion, PromotesExactlyAtThreshold) {
+  // A threshold of 1 clamps to 2 (a flat array of one entry is never worth
+  // migrating), so the effective boundary is max(threshold, 2).
+  const eid_t threshold = GetParam();
+  const eid_t effective = std::max<eid_t>(threshold, 2);
+  DynamicGraph d(200, false, threshold);
+  // A vertex stays flat while its adjacency fits the threshold; the insert
+  // that pushes it past migrates it to a treap.
+  for (eid_t k = 1; k <= effective; ++k) {
+    d.insert_edge(0, static_cast<vid_t>(k));
+    EXPECT_FALSE(d.is_promoted(0)) << "promoted at degree " << k;
+  }
+  d.insert_edge(0, static_cast<vid_t>(effective + 1));
+  EXPECT_TRUE(d.is_promoted(0));
+  EXPECT_EQ(d.degree(0), effective + 1);
+  // Neighbors stay flat: none crossed the boundary.
+  for (eid_t k = 1; k <= effective + 1; ++k)
+    EXPECT_FALSE(d.is_promoted(static_cast<vid_t>(k)));
+}
+
+TEST_P(DynamicGraphPromotion, RevertsToFlatWhenTreapEmpties) {
+  const eid_t threshold = GetParam();
+  const eid_t effective = std::max<eid_t>(threshold, 2);
+  DynamicGraph d(300, false, threshold);
+  for (eid_t k = 1; k <= effective + 3; ++k)
+    d.insert_edge(0, static_cast<vid_t>(k));
+  EXPECT_TRUE(d.is_promoted(0));
+  // Deleting below the threshold does NOT demote (hysteresis: a vertex that
+  // was hot once likely becomes hot again)...
+  for (eid_t k = 1; k <= effective + 2; ++k)
+    d.delete_edge(0, static_cast<vid_t>(k));
+  EXPECT_EQ(d.degree(0), 1);
+  EXPECT_TRUE(d.is_promoted(0));
+  // ...but deleting the last key reverts the vertex to the flat form.
+  d.delete_edge(0, static_cast<vid_t>(effective + 3));
+  EXPECT_EQ(d.degree(0), 0);
+  EXPECT_FALSE(d.is_promoted(0));
+  // And it can promote again from scratch.
+  for (eid_t k = 1; k <= effective + 1; ++k)
+    d.insert_edge(0, static_cast<vid_t>(k));
+  EXPECT_TRUE(d.is_promoted(0));
+}
+
+TEST_P(DynamicGraphPromotion, FromCsrToCsrRoundTrip) {
+  const eid_t threshold = GetParam();
+  const CSRGraph g = gen::erdos_renyi(120, 900, /*directed=*/false, 31);
+  const DynamicGraph d = DynamicGraph::from_csr(g, threshold);
+  EXPECT_EQ(d.num_edges(), g.num_edges());
+  const CSRGraph back = d.to_csr();
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto want = g.neighbors(v);
+    const auto got = back.neighbors(v);
+    ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(), got.end()))
+        << "adjacency differs at " << v << " (threshold " << threshold << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DynamicGraphPromotion,
+                         ::testing::Values(1, 2, 128));
 
 }  // namespace
 }  // namespace snap

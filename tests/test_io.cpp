@@ -59,6 +59,52 @@ TEST_F(IoTest, EdgeListParsesCommentsAndWeights) {
   EXPECT_DOUBLE_EQ(parsed.edges[1].w, 1.0);
 }
 
+TEST_F(IoTest, EdgeListSkipsPercentComments) {
+  const auto p = track(path("konect.txt"));
+  {
+    std::ofstream out(p);
+    out << "% KONECT header\n%\n0 1\n  % indented comment\n1 2\n";
+  }
+  const auto parsed = io::read_edge_list(p);
+  ASSERT_EQ(parsed.edges.size(), 2u);
+  EXPECT_EQ(parsed.n, 3);
+}
+
+TEST_F(IoTest, CommentsAcrossChunkBoundariesParseIdentically) {
+  // Build a file comfortably above the parallel-parse cutoff (64 KiB) with
+  // '#' and '%' comment lines and blanks sprinkled densely, so for every
+  // thread count some chunk boundary lands inside or right next to a comment.
+  const auto p = track(path("chunky.txt"));
+  eid_t expected_edges = 0;
+  {
+    std::ofstream out(p);
+    out << "# nodes: 5000\n";
+    for (int i = 0; i < 12000; ++i) {
+      if (i % 5 == 0) out << "# comment line " << i << " with some padding\n";
+      if (i % 7 == 0) out << "% konect-style comment " << i << "\n";
+      if (i % 11 == 0) out << "\n";
+      out << i % 4000 << ' ' << (i + 1) % 4000 << '\n';
+      ++expected_edges;
+    }
+  }
+  ASSERT_GT(std::filesystem::file_size(p), 65536u) << "below parallel cutoff";
+
+  parallel::ThreadScope serial_scope(1);
+  const auto ref = io::read_edge_list(p);
+  ASSERT_EQ(ref.edges.size(), static_cast<std::size_t>(expected_edges));
+  EXPECT_EQ(ref.n, 5000);
+  for (int t : {2, 4, 8}) {
+    parallel::ThreadScope scope(t);
+    const auto got = io::read_edge_list(p);
+    ASSERT_EQ(got.n, ref.n) << "threads=" << t;
+    ASSERT_EQ(got.edges.size(), ref.edges.size()) << "threads=" << t;
+    for (std::size_t i = 0; i < ref.edges.size(); ++i) {
+      ASSERT_EQ(got.edges[i].u, ref.edges[i].u) << "i=" << i;
+      ASSERT_EQ(got.edges[i].v, ref.edges[i].v) << "i=" << i;
+    }
+  }
+}
+
 TEST_F(IoTest, EdgeListMissingFileThrows) {
   EXPECT_THROW(io::read_edge_list("/nonexistent/file.txt"),
                std::runtime_error);

@@ -1,0 +1,482 @@
+// Unit tests for the streaming-update engine: batch canonicalization
+// (last-writer-wins semantics), parallel application, epoch snapshots, and
+// the three incremental observers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "snap/gen/generators.hpp"
+#include "snap/graph/csr_graph.hpp"
+#include "snap/graph/dynamic_graph.hpp"
+#include "snap/metrics/metrics.hpp"
+#include "snap/stream/observers.hpp"
+#include "snap/stream/streaming_graph.hpp"
+#include "snap/stream/update_batch.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+using stream::AppliedBatch;
+using stream::ApplyStats;
+using stream::ClusteringObserver;
+using stream::ComponentsObserver;
+using stream::DegreeStatsObserver;
+using stream::StreamingGraph;
+using stream::UpdateBatch;
+using stream::UpdateKind;
+
+void expect_same_csr(const CSRGraph& a, const CSRGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  ASSERT_EQ(a.directed(), b.directed());
+  for (vid_t v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.arc_begin(v), b.arc_begin(v)) << "offsets differ at " << v;
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "adjacency differs at " << v;
+    const auto wa = a.weights(v);
+    const auto wb = b.weights(v);
+    ASSERT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()))
+        << "weights differ at " << v;
+  }
+}
+
+// ------------------------------------------------------------ canonicalize
+
+TEST(UpdateBatch, CanonicalizeExpandsUndirectedArcs) {
+  UpdateBatch b;
+  b.insert(1, 2);
+  const auto cb = b.canonicalize(/*directed=*/false);
+  ASSERT_EQ(cb.arcs.size(), 2u);
+  EXPECT_EQ(cb.arcs[0].owner, 1);
+  EXPECT_EQ(cb.arcs[0].nbr, 2);
+  EXPECT_EQ(cb.arcs[1].owner, 2);
+  EXPECT_EQ(cb.arcs[1].nbr, 1);
+  EXPECT_EQ(cb.max_vid, 2);
+  EXPECT_EQ(cb.raw_records, 1u);
+
+  const auto cd = b.canonicalize(/*directed=*/true);
+  ASSERT_EQ(cd.arcs.size(), 1u);
+  EXPECT_EQ(cd.arcs[0].owner, 1);
+}
+
+TEST(UpdateBatch, LastWriterWinsInsertThenDelete) {
+  UpdateBatch b;
+  b.insert(0, 1);
+  b.erase(0, 1);
+  const auto cb = b.canonicalize(false);
+  ASSERT_EQ(cb.arcs.size(), 2u);  // one surviving record per direction
+  EXPECT_EQ(cb.arcs[0].kind, UpdateKind::kDelete);
+  EXPECT_EQ(cb.arcs[1].kind, UpdateKind::kDelete);
+}
+
+TEST(UpdateBatch, LastWriterWinsDeleteThenInsert) {
+  UpdateBatch b;
+  b.erase(0, 1);
+  b.insert(0, 1);
+  const auto cb = b.canonicalize(false);
+  ASSERT_EQ(cb.arcs.size(), 2u);
+  EXPECT_EQ(cb.arcs[0].kind, UpdateKind::kInsert);
+}
+
+TEST(UpdateBatch, SelfLoopDedupesToOneArc) {
+  UpdateBatch b;
+  b.insert(3, 3);
+  const auto cb = b.canonicalize(false);
+  ASSERT_EQ(cb.arcs.size(), 1u);
+  EXPECT_EQ(cb.arcs[0].owner, 3);
+  EXPECT_EQ(cb.arcs[0].nbr, 3);
+}
+
+TEST(UpdateBatch, RejectsNegativeIds) {
+  UpdateBatch b;
+  EXPECT_THROW(b.insert(-1, 2), std::invalid_argument);
+  EXPECT_THROW(b.erase(0, -7), std::invalid_argument);
+}
+
+TEST(UpdateBatch, CanonicalizeIsThreadCountInvariant) {
+  UpdateBatch b;
+  SplitMix64 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(300));
+    const auto v = static_cast<vid_t>(rng.next_bounded(300));
+    if (rng.next_bounded(3) == 0)
+      b.erase(u, v, static_cast<std::uint64_t>(i));
+    else
+      b.insert(u, v, static_cast<std::uint64_t>(i));
+  }
+  parallel::ThreadScope s1(1);
+  const auto ref = b.canonicalize(false);
+  for (int t : {2, 4, 8}) {
+    parallel::ThreadScope st(t);
+    const auto cb = b.canonicalize(false);
+    ASSERT_EQ(cb.arcs.size(), ref.arcs.size()) << "threads=" << t;
+    for (std::size_t i = 0; i < cb.arcs.size(); ++i) {
+      EXPECT_EQ(cb.arcs[i].owner, ref.arcs[i].owner);
+      EXPECT_EQ(cb.arcs[i].nbr, ref.arcs[i].nbr);
+      EXPECT_EQ(cb.arcs[i].seq, ref.arcs[i].seq);
+      EXPECT_EQ(cb.arcs[i].kind, ref.arcs[i].kind);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- apply
+
+TEST(StreamingGraph, ApplyCountsEffectiveChangesOnly) {
+  StreamingGraph sg(8, /*directed=*/false);
+  UpdateBatch b;
+  b.insert(0, 1);
+  b.insert(0, 1);       // duplicate in batch
+  b.insert(1, 2);
+  b.erase(5, 6);        // absent: no-op
+  const ApplyStats st = sg.apply(b);
+  EXPECT_EQ(st.raw_records, 4u);
+  EXPECT_EQ(st.applied_inserts, 2u);
+  EXPECT_EQ(st.applied_deletes, 0u);
+  EXPECT_EQ(sg.graph().num_edges(), 2);
+  EXPECT_TRUE(sg.graph().has_edge(0, 1));
+  EXPECT_TRUE(sg.graph().has_edge(2, 1));
+
+  // Re-applying the same inserts is a no-op.
+  UpdateBatch b2;
+  b2.insert(1, 0);
+  const ApplyStats st2 = sg.apply(b2);
+  EXPECT_EQ(st2.applied_inserts, 0u);
+  EXPECT_EQ(sg.graph().num_edges(), 2);
+}
+
+TEST(StreamingGraph, InsertDeleteOfSameEdgeInOneBatchResolvesToDelete) {
+  StreamingGraph sg(4, false);
+  UpdateBatch b;
+  b.insert(0, 1);
+  b.erase(0, 1);
+  sg.apply(b);
+  EXPECT_FALSE(sg.graph().has_edge(0, 1));
+  EXPECT_EQ(sg.graph().num_edges(), 0);
+
+  // And with the edge pre-existing, delete-then-insert keeps it.
+  UpdateBatch pre;
+  pre.insert(2, 3);
+  sg.apply(pre);
+  UpdateBatch b2;
+  b2.erase(2, 3);
+  b2.insert(2, 3);
+  const ApplyStats st = sg.apply(b2);
+  EXPECT_TRUE(sg.graph().has_edge(2, 3));
+  EXPECT_EQ(st.applied_inserts, 0u);  // net no-op on a present edge
+  EXPECT_EQ(st.applied_deletes, 0u);
+  EXPECT_EQ(sg.graph().num_edges(), 1);
+}
+
+TEST(StreamingGraph, AutoGrowsVertexSet) {
+  StreamingGraph sg(3, false);
+  UpdateBatch b;
+  b.insert(10, 20);
+  sg.apply(b);
+  EXPECT_EQ(sg.graph().num_vertices(), 21);
+  EXPECT_TRUE(sg.graph().has_edge(10, 20));
+}
+
+TEST(StreamingGraph, SelfLoopCountsOnce) {
+  StreamingGraph sg(4, false);
+  UpdateBatch b;
+  b.insert(2, 2);
+  const ApplyStats st = sg.apply(b);
+  EXPECT_EQ(st.applied_inserts, 1u);
+  EXPECT_EQ(sg.graph().num_edges(), 1);
+  EXPECT_EQ(sg.graph().degree(2), 1);
+  UpdateBatch d;
+  d.erase(2, 2);
+  const ApplyStats sd = sg.apply(d);
+  EXPECT_EQ(sd.applied_deletes, 1u);
+  EXPECT_EQ(sg.graph().num_edges(), 0);
+}
+
+TEST(StreamingGraph, DirectedArcsAreOneSided) {
+  StreamingGraph sg(4, /*directed=*/true);
+  UpdateBatch b;
+  b.insert(0, 1);
+  sg.apply(b);
+  EXPECT_TRUE(sg.graph().has_edge(0, 1));
+  EXPECT_FALSE(sg.graph().has_edge(1, 0));
+  EXPECT_EQ(sg.graph().num_edges(), 1);
+}
+
+TEST(StreamingGraph, SerialAndParallelApplyAgree) {
+  const CSRGraph base = gen::erdos_renyi(200, 600, false, 3);
+  SplitMix64 rng(17);
+  UpdateBatch b;
+  for (int i = 0; i < 3000; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(200));
+    const auto v = static_cast<vid_t>(rng.next_bounded(200));
+    if (rng.next_bounded(3) == 0)
+      b.erase(u, v);
+    else
+      b.insert(u, v);
+  }
+  StreamingGraph sp = StreamingGraph::from_csr(base);
+  StreamingGraph ss = StreamingGraph::from_csr(base);
+  sp.apply(b);
+  ss.apply_serial(b);
+  expect_same_csr(sp.snapshot(), ss.snapshot());
+}
+
+TEST(StreamingGraph, SnapshotIsEpochCached) {
+  StreamingGraph sg(4, false);
+  UpdateBatch b;
+  b.insert(0, 1);
+  sg.apply(b);
+  const CSRGraph* s1 = &sg.snapshot();
+  const CSRGraph* s2 = &sg.snapshot();
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1->num_edges(), 1);
+  UpdateBatch b2;
+  b2.insert(1, 2);
+  sg.apply(b2);
+  EXPECT_EQ(sg.snapshot().num_edges(), 2);
+  EXPECT_EQ(sg.epoch(), 2u);
+}
+
+// --------------------------------------------------------------- observers
+
+TEST(ComponentsObserver, InsertOnlyBatchesNeverRebuild) {
+  StreamingGraph sg(6, false);
+  ComponentsObserver comps(sg.graph());
+  sg.add_observer(&comps);
+  UpdateBatch b;
+  b.insert(0, 1);
+  b.insert(2, 3);
+  sg.apply(b);
+  EXPECT_EQ(comps.num_components(), 4);
+  EXPECT_TRUE(comps.connected(0, 1));
+  EXPECT_FALSE(comps.connected(1, 2));
+  EXPECT_EQ(comps.rebuilds(), 0);
+}
+
+TEST(ComponentsObserver, AtMostOneRebuildPerBatch) {
+  StreamingGraph sg(8, false);
+  ComponentsObserver comps(sg.graph());
+  sg.add_observer(&comps);
+  UpdateBatch chain;
+  for (vid_t v = 0; v + 1 < 8; ++v) chain.insert(v, v + 1);
+  sg.apply(chain);
+  EXPECT_EQ(comps.rebuilds(), 0);
+
+  // A batch with many deletions: one stale flag, one rebuild, no matter how
+  // many queries follow.
+  UpdateBatch dels;
+  dels.erase(1, 2);
+  dels.erase(4, 5);
+  dels.erase(6, 7);
+  sg.apply(dels);
+  EXPECT_TRUE(comps.stale());
+  for (int q = 0; q < 50; ++q) {
+    EXPECT_EQ(comps.num_components(), 4);
+    EXPECT_FALSE(comps.connected(0, 2));
+    EXPECT_TRUE(comps.connected(2, 4));
+  }
+  EXPECT_EQ(comps.rebuilds(), 1);
+
+  // Next deleting batch: at most one more.
+  UpdateBatch dels2;
+  dels2.erase(2, 3);
+  sg.apply(dels2);
+  for (int q = 0; q < 50; ++q) comps.num_components();
+  EXPECT_EQ(comps.rebuilds(), 2);
+}
+
+TEST(ComponentsObserver, MixedBatchWithCycleDeletionStaysConnected) {
+  StreamingGraph sg(3, false);
+  ComponentsObserver comps(sg.graph());
+  sg.add_observer(&comps);
+  UpdateBatch tri;
+  tri.insert(0, 1);
+  tri.insert(1, 2);
+  tri.insert(2, 0);
+  sg.apply(tri);
+  UpdateBatch del;
+  del.erase(0, 1);
+  sg.apply(del);
+  EXPECT_TRUE(comps.connected(0, 1));  // via 2
+  EXPECT_EQ(comps.num_components(), 1);
+}
+
+TEST(ComponentsObserver, GrowsWithTheGraph) {
+  StreamingGraph sg(2, false);
+  ComponentsObserver comps(sg.graph());
+  sg.add_observer(&comps);
+  UpdateBatch b;
+  b.insert(0, 5);
+  sg.apply(b);
+  EXPECT_EQ(comps.num_components(), 5);  // {0,5} + 4 singletons
+  EXPECT_TRUE(comps.connected(0, 5));
+}
+
+TEST(DegreeStatsObserver, TracksDegreesMaxAndHistogram) {
+  StreamingGraph sg(5, false);
+  DegreeStatsObserver deg(sg.graph());
+  sg.add_observer(&deg);
+  EXPECT_EQ(deg.max_degree(), 0);
+  ASSERT_EQ(deg.histogram().size(), 1u);
+  EXPECT_EQ(deg.histogram()[0], 5);
+
+  UpdateBatch star;
+  for (vid_t leaf = 1; leaf < 5; ++leaf) star.insert(0, leaf);
+  sg.apply(star);
+  EXPECT_EQ(deg.max_degree(), 4);
+  EXPECT_EQ(deg.degree(0), 4);
+  EXPECT_EQ(deg.degree(3), 1);
+  ASSERT_EQ(deg.histogram().size(), 5u);
+  EXPECT_EQ(deg.histogram()[1], 4);
+  EXPECT_EQ(deg.histogram()[4], 1);
+
+  // Deleting shrinks the max and trims the histogram.
+  UpdateBatch del;
+  del.erase(0, 1);
+  del.erase(0, 2);
+  sg.apply(del);
+  EXPECT_EQ(deg.max_degree(), 2);
+  ASSERT_EQ(deg.histogram().size(), 3u);
+  EXPECT_EQ(deg.histogram()[0], 2);
+  for (vid_t v = 0; v < 5; ++v)
+    EXPECT_EQ(deg.degree(v), sg.graph().degree(v)) << "v=" << v;
+}
+
+TEST(DegreeStatsObserver, SelfLoopAddsOneLikeDynamicGraph) {
+  StreamingGraph sg(3, false);
+  DegreeStatsObserver deg(sg.graph());
+  sg.add_observer(&deg);
+  UpdateBatch b;
+  b.insert(1, 1);
+  sg.apply(b);
+  EXPECT_EQ(deg.degree(1), 1);
+  EXPECT_EQ(deg.degree(1), sg.graph().degree(1));
+}
+
+TEST(ClusteringObserver, RejectsDirectedGraphs) {
+  DynamicGraph dg(4, /*directed=*/true);
+  EXPECT_THROW(ClusteringObserver obs(dg), std::invalid_argument);
+}
+
+TEST(ClusteringObserver, TriangleBuildAndTeardown) {
+  StreamingGraph sg(3, false);
+  ClusteringObserver cc(sg.graph());
+  sg.add_observer(&cc);
+  UpdateBatch tri;
+  tri.insert(0, 1);
+  tri.insert(1, 2);
+  tri.insert(2, 0);
+  sg.apply(tri);
+  EXPECT_EQ(cc.triangles(), 1);
+  EXPECT_EQ(cc.wedges(), 3);
+  EXPECT_DOUBLE_EQ(cc.global_clustering(), 1.0);
+  EXPECT_DOUBLE_EQ(cc.average_clustering(), 1.0);
+
+  UpdateBatch del;
+  del.erase(1, 2);
+  sg.apply(del);
+  EXPECT_EQ(cc.triangles(), 0);
+  EXPECT_EQ(cc.wedges(), 1);  // only vertex 0 keeps degree 2
+  EXPECT_DOUBLE_EQ(cc.global_clustering(), 0.0);
+}
+
+TEST(ClusteringObserver, SeedsFromExistingGraphAndMatchesMetrics) {
+  const CSRGraph k5 = gen::complete_graph(5);
+  StreamingGraph sg = StreamingGraph::from_csr(k5);
+  ClusteringObserver cc(sg.graph());
+  EXPECT_EQ(cc.triangles(), 10);  // C(5,3)
+  EXPECT_DOUBLE_EQ(cc.global_clustering(),
+                   global_clustering_coefficient(k5));
+  EXPECT_DOUBLE_EQ(cc.average_clustering(),
+                   average_clustering_coefficient(k5));
+}
+
+TEST(ClusteringObserver, MultiEdgeTriangleChangesInOneBatch) {
+  // Insert two edges of a triangle whose third edge also arrives in the same
+  // batch, plus tear one down again — the replay must see intra-batch edges.
+  StreamingGraph sg(4, false);
+  ClusteringObserver cc(sg.graph());
+  sg.add_observer(&cc);
+  UpdateBatch b;
+  b.insert(0, 1);
+  b.insert(1, 2);
+  b.insert(0, 2);
+  b.insert(2, 3);
+  sg.apply(b);
+  EXPECT_EQ(cc.triangles(), 1);
+
+  // Delete two triangle edges in one batch; also add a new triangle 1-2-3.
+  UpdateBatch b2;
+  b2.erase(0, 1);
+  b2.erase(0, 2);
+  b2.insert(1, 3);
+  sg.apply(b2);
+  EXPECT_EQ(cc.triangles(), 1);  // {1,2,3}
+  const CSRGraph snap_csr = sg.snapshot();
+  EXPECT_NEAR(cc.global_clustering(),
+              global_clustering_coefficient(snap_csr), 1e-12);
+  EXPECT_NEAR(cc.average_clustering(),
+              average_clustering_coefficient(snap_csr), 1e-12);
+}
+
+TEST(ClusteringObserver, SelfLoopsAreIgnored) {
+  StreamingGraph sg(3, false);
+  ClusteringObserver cc(sg.graph());
+  sg.add_observer(&cc);
+  UpdateBatch b;
+  b.insert(0, 0);
+  b.insert(0, 1);
+  sg.apply(b);
+  EXPECT_EQ(cc.triangles(), 0);
+  EXPECT_EQ(cc.wedges(), 0);  // self loop does not create a wedge
+}
+
+// Observer state after a batch equals observer state built from scratch on
+// the post-batch graph (spot check; the differential suite does this over
+// random streams).
+TEST(Observers, MatchFromScratchAfterMixedBatch) {
+  const CSRGraph base = gen::watts_strogatz(64, 4, 0.2, 9);
+  StreamingGraph sg = StreamingGraph::from_csr(base);
+  ComponentsObserver comps(sg.graph());
+  DegreeStatsObserver deg(sg.graph());
+  ClusteringObserver cc(sg.graph());
+  sg.add_observer(&comps);
+  sg.add_observer(&deg);
+  sg.add_observer(&cc);
+
+  SplitMix64 rng(23);
+  UpdateBatch b;
+  for (int i = 0; i < 500; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(64));
+    const auto v = static_cast<vid_t>(rng.next_bounded(64));
+    if (rng.next_bounded(3) == 0)
+      b.erase(u, v);
+    else
+      b.insert(u, v);
+  }
+  sg.apply(b);
+
+  ComponentsObserver comps_ref(sg.graph());
+  DegreeStatsObserver deg_ref(sg.graph());
+  ClusteringObserver cc_ref(sg.graph());
+  EXPECT_EQ(comps.num_components(), comps_ref.num_components());
+  EXPECT_EQ(deg.max_degree(), deg_ref.max_degree());
+  ASSERT_EQ(deg.histogram().size(), deg_ref.histogram().size());
+  EXPECT_EQ(deg.histogram(), deg_ref.histogram());
+  EXPECT_EQ(cc.triangles(), cc_ref.triangles());
+  EXPECT_EQ(cc.wedges(), cc_ref.wedges());
+  for (vid_t v = 0; v < sg.graph().num_vertices(); ++v) {
+    EXPECT_EQ(deg.degree(v), deg_ref.degree(v)) << "v=" << v;
+    EXPECT_EQ(cc.triangles_at(v), cc_ref.triangles_at(v)) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace snap
