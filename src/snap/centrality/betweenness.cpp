@@ -192,6 +192,8 @@ BetweennessScores accumulate_fine(const CSRGraph& g) {
                     expected, d + 1, std::memory_order_relaxed);
             if (dist[static_cast<std::size_t>(v)].load(
                     std::memory_order_relaxed) == d + 1) {
+              // reduction: path-count accumulation; addition order varies
+              // with scheduling, so sigma is not bitwise reproducible.
               parallel::atomic_add(sigma[static_cast<std::size_t>(v)], su);
             }
             return newly;

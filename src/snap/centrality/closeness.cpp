@@ -88,6 +88,8 @@ std::vector<double> closeness_centrality_sampled(const CSRGraph& g,
       engine.run_serial_into(g, sources[static_cast<std::size_t>(i)], {}, b);
       for (vid_t v = 0; v < n; ++v) {
         const std::int64_t d = b.dist[static_cast<std::size_t>(v)];
+        // reduction: per-vertex distance sum over sampled sources; addition
+        // order varies with scheduling, so sums are not bitwise reproducible.
         if (d > 0)
           parallel::atomic_add(sum[static_cast<std::size_t>(v)],
                                static_cast<double>(d));

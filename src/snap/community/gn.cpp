@@ -5,6 +5,7 @@
 #include "snap/centrality/betweenness.hpp"
 #include "snap/community/divisive_util.hpp"
 #include "snap/community/modularity.hpp"
+#include "snap/debug/validate.hpp"
 #include "snap/kernels/connected_components.hpp"
 #include "snap/util/timer.hpp"
 
@@ -66,6 +67,9 @@ CommunityResult girvan_newman(const CSRGraph& g, const DivisiveParams& params) {
 
   r.clustering = normalize_labels(r.divisive_trace.best_membership());
   r.modularity = r.divisive_trace.best_modularity();
+  // Loose tolerance: the traced modularity was summed in original-label
+  // order; normalize_labels permutes the per-community accumulation order.
+  SNAP_VALIDATE(g, r.clustering.membership, r.modularity, 1e-6);
   r.seconds = timer.elapsed_s();
   return r;
 }

@@ -6,6 +6,7 @@
 
 #include "snap/community/modularity.hpp"
 #include "snap/community/pma.hpp"
+#include "snap/debug/validate.hpp"
 #include "snap/kernels/bfs.hpp"
 #include "snap/kernels/biconnected.hpp"
 #include "snap/kernels/connected_components.hpp"
@@ -192,6 +193,7 @@ CommunityResult pla(const CSRGraph& g, const PLAParams& params) {
   }
 
   r.modularity = modularity(g, r.clustering.membership);
+  SNAP_VALIDATE(g, r.clustering.membership, r.modularity);
   r.seconds = timer.elapsed_s();
   return r;
 }

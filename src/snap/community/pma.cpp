@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "snap/community/modularity.hpp"
+#include "snap/debug/validate.hpp"
 #include "snap/ds/lazy_max_heap.hpp"
 #include "snap/ds/multilevel_bucket.hpp"
 #include "snap/ds/sorted_dyn_array.hpp"
@@ -217,6 +218,8 @@ CommunityResult pma(const CSRGraph& g, const PMAParams& params) {
   const auto membership = r.dendrogram.cut_at_best();
   r.clustering = normalize_labels(membership);
   r.modularity = modularity(g, r.clustering.membership);
+  SNAP_VALIDATE(r.dendrogram);
+  SNAP_VALIDATE(g, r.clustering.membership, r.modularity);
   r.seconds = timer.elapsed_s();
   return r;
 }

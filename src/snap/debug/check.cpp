@@ -1,0 +1,22 @@
+#include "snap/debug/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snap::debug::detail {
+
+[[noreturn]] void check_fail(const char* kind, const char* expr,
+                             const char* file, int line,
+                             const std::string& msg) {
+  if (msg.empty()) {
+    std::fprintf(stderr, "[snap] %s failed: %s\n  at %s:%d\n", kind, expr,
+                 file, line);
+  } else {
+    std::fprintf(stderr, "[snap] %s failed: %s\n  at %s:%d\n  %s\n", kind,
+                 expr, file, line, msg.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace snap::debug::detail

@@ -1,0 +1,114 @@
+#pragma once
+
+// Leveled runtime assertions for SNAP's correctness-tooling layer.
+//
+// Three tiers, controlled by the SNAP_CHECK_LEVEL compile definition (set by
+// the CMake option of the same name, {0, 1, 2}):
+//
+//   SNAP_ASSERT          always compiled in — cheap O(1) conditions whose
+//                        violation means memory is already corrupt or about
+//                        to be (e.g. an offsets array that does not cover the
+//                        adjacency it indexes).
+//   SNAP_DCHECK          level >= 1 (the default) — O(1)/O(log n) conditions
+//                        on internal bookkeeping (degree counters, mirror-arc
+//                        success, cursor positions).
+//   SNAP_CHECK_EXPENSIVE level >= 2 (validation builds) — O(n)+ conditions:
+//                        full structural validation, recomputation matches.
+//
+// Every macro takes the condition first and an optional message built from
+// `operator<<`-streamable parts:
+//
+//   SNAP_DCHECK(cursor == end, "vertex ", v, ": cursor ", cursor, " != ", end);
+//
+// On failure the handler prints the failed expression, the source location
+// and the formatted message to stderr, then calls std::abort() — there is no
+// recovery path, by design: a violated structural invariant means every
+// downstream result is untrustworthy.
+//
+// Disabled tiers compile to a dead `if (false)` that still odr-uses the
+// condition and message operands, so no `-Wunused-*` fallout appears when a
+// variable exists only for its check, and no side effects ever run.
+
+#include <sstream>
+#include <string>
+
+#ifndef SNAP_CHECK_LEVEL
+#define SNAP_CHECK_LEVEL 1
+#endif
+
+namespace snap::debug {
+
+/// The active check level, for code that wants to branch at runtime (e.g.
+/// tests asserting that validation is actually on).
+inline constexpr int kCheckLevel = SNAP_CHECK_LEVEL;
+
+namespace detail {
+
+/// Print "<kind> failed: <expr> at <file>:<line>[: <msg>]" and abort.
+[[noreturn]] void check_fail(const char* kind, const char* expr,
+                             const char* file, int line,
+                             const std::string& msg);
+
+template <typename... Parts>
+std::string format_message(const Parts&... parts) {
+  if constexpr (sizeof...(Parts) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  }
+}
+
+template <typename... Parts>
+constexpr void ignore_args(const Parts&...) {}
+
+}  // namespace detail
+}  // namespace snap::debug
+
+#define SNAP_ASSERT(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::snap::debug::detail::check_fail(                                    \
+          "SNAP_ASSERT", #cond, __FILE__, __LINE__,                         \
+          ::snap::debug::detail::format_message(__VA_ARGS__));              \
+    }                                                                       \
+  } while (false)
+
+#if SNAP_CHECK_LEVEL >= 1
+#define SNAP_DCHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::snap::debug::detail::check_fail(                                    \
+          "SNAP_DCHECK", #cond, __FILE__, __LINE__,                         \
+          ::snap::debug::detail::format_message(__VA_ARGS__));              \
+    }                                                                       \
+  } while (false)
+#else
+#define SNAP_DCHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (false) {                                                            \
+      (void)(cond);                                                         \
+      ::snap::debug::detail::ignore_args(__VA_ARGS__);                      \
+    }                                                                       \
+  } while (false)
+#endif
+
+#if SNAP_CHECK_LEVEL >= 2
+#define SNAP_CHECK_EXPENSIVE(cond, ...)                                     \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::snap::debug::detail::check_fail(                                    \
+          "SNAP_CHECK_EXPENSIVE", #cond, __FILE__, __LINE__,                \
+          ::snap::debug::detail::format_message(__VA_ARGS__));              \
+    }                                                                       \
+  } while (false)
+#else
+#define SNAP_CHECK_EXPENSIVE(cond, ...)                                     \
+  do {                                                                      \
+    if (false) {                                                            \
+      (void)(cond);                                                         \
+      ::snap::debug::detail::ignore_args(__VA_ARGS__);                      \
+    }                                                                       \
+  } while (false)
+#endif

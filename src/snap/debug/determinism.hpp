@@ -1,0 +1,147 @@
+#pragma once
+
+// Determinism self-check harness.
+//
+// PRs 2 and 3 established thread-count invariance as a hard project
+// guarantee: parallel CSR construction, DynamicGraph::to_csr and streaming
+// batch application produce byte-identical results at every thread count,
+// and the traversal kernels produce identical distances/labels.  The
+// differential tests proved this with ad-hoc loops (run at t = 1, 2, 4, 8,
+// compare against the t = 1 result field by field); this header centralizes
+// the pattern:
+//
+//   auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+//     const auto r = connected_components(g);
+//     h.value(r.count);
+//     h.sequence(r.label);
+//   });
+//   ASSERT_TRUE(report.deterministic) << report.to_string();
+//
+// The callable runs once per thread count under parallel::ThreadScope; it
+// serializes whatever the kernel guarantees to be invariant into the
+// ByteHasher (FNV-1a over raw bytes).  The report names the first divergent
+// thread count — the single most useful datum when chasing a scheduling
+// dependence.
+//
+// Serialize only what is actually guaranteed: BFS distance arrays are
+// invariant, BFS parent trees are not (any valid tree is accepted);
+// float accumulations through parallel_reduce_sum are deterministic at a
+// *fixed* thread count but round differently across thread counts, so hash
+// counts/ids/exact values, not order-sensitive float sums (see
+// docs/CORRECTNESS.md).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "snap/util/parallel.hpp"
+
+namespace snap::debug {
+
+/// FNV-1a accumulator the checked callable serializes its result into.
+class ByteHasher {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;  // FNV prime
+    }
+  }
+
+  /// Hash one trivially copyable value (ints, doubles, PODs).
+  template <typename T>
+  void value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteHasher::value needs a trivially copyable type");
+    bytes(&v, sizeof(T));
+  }
+
+  /// Hash a contiguous sequence, length first (so [1][2,3] != [1,2][3]).
+  template <typename T>
+  void sequence(std::span<const T> s) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteHasher::sequence needs trivially copyable elements");
+    value(s.size());
+    bytes(s.data(), s.size() * sizeof(T));
+  }
+
+  template <typename T>
+  void sequence(const std::vector<T>& v) {
+    sequence(std::span<const T>(v));
+  }
+
+  void text(std::string_view s) {
+    value(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+struct DeterminismRun {
+  int threads = 0;
+  std::uint64_t hash = 0;
+};
+
+struct DeterminismReport {
+  bool deterministic = true;
+  /// First thread count whose hash differs from the first run's; 0 if none.
+  int first_divergent_threads = 0;
+  std::vector<DeterminismRun> runs;
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    if (deterministic) {
+      os << "deterministic across {";
+    } else {
+      os << "NONDETERMINISTIC (first divergence at " << first_divergent_threads
+         << " threads) across {";
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      os << (i ? ", " : "") << runs[i].threads;
+    os << "} threads; hashes:";
+    for (const auto& r : runs)
+      os << " t" << r.threads << "=0x" << std::hex << r.hash << std::dec;
+    return os.str();
+  }
+};
+
+/// The standard sweep — mirrors the Sun Fire T2000 power-of-two ladder the
+/// differential tests have always used.
+inline constexpr std::array<int, 4> kDefaultDeterminismThreads{1, 2, 4, 8};
+
+/// Run `fn(ByteHasher&)` once per thread count (under parallel::ThreadScope)
+/// and compare result hashes.  `fn` must serialize every result field whose
+/// invariance the kernel guarantees.
+template <typename Fn>
+DeterminismReport check_determinism(
+    Fn&& fn, std::span<const int> thread_counts = kDefaultDeterminismThreads) {
+  DeterminismReport report;
+  for (int t : thread_counts) {
+    parallel::ThreadScope scope(t);
+    ByteHasher hasher;
+    fn(hasher);
+    report.runs.push_back({t, hasher.hash()});
+  }
+  for (std::size_t i = 1; i < report.runs.size(); ++i) {
+    if (report.runs[i].hash != report.runs[0].hash) {
+      report.deterministic = false;
+      report.first_divergent_threads = report.runs[i].threads;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace snap::debug

@@ -1,0 +1,11 @@
+#pragma once
+
+// Forward declaration of the debug-layer introspection hook.  Structural
+// containers befriend `debug::Access` (one line each) so the validators in
+// snap/debug/validate.cpp — and the mutation tests that deliberately corrupt
+// state to prove the validators bite — can reach private arrays without
+// widening the public API.
+
+namespace snap::debug {
+struct Access;
+}  // namespace snap::debug

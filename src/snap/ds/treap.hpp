@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "snap/debug/fwd.hpp"
+
 namespace snap {
 
 namespace detail {
@@ -93,6 +95,9 @@ class Treap {
   };
 
  private:
+  // Validators (and their mutation tests) walk the raw tree.
+  friend struct debug::Access;
+
   template <typename Fn>
   static void walk(const Node* t, Fn& fn) {
     if (!t) return;

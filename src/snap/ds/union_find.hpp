@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "snap/debug/fwd.hpp"
+
 namespace snap {
 
 /// Disjoint-set forest with path-halving and union-by-size.
@@ -71,6 +73,9 @@ class UnionFind {
   std::int64_t set_size(std::int64_t x) { return size_[find(x)]; }
 
  private:
+  // Validators (and their mutation tests) read the raw forest arrays.
+  friend struct debug::Access;
+
   std::vector<std::int64_t> parent_;
   std::vector<std::int64_t> size_;
   std::size_t num_sets_ = 0;

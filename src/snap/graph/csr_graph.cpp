@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cstddef>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 
+#include "snap/debug/check.hpp"
+#include "snap/debug/validate.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap {
@@ -200,7 +201,9 @@ CSRGraph CSRGraph::from_edges(vid_t n, const EdgeList& input, bool directed,
     }
     parallel::exclusive_prefix_sum(deg.data(), g.offsets_.data(),
                                    static_cast<std::size_t>(n));
-    assert(g.offsets_[static_cast<std::size_t>(n)] == arcs);
+    SNAP_DCHECK(g.offsets_[static_cast<std::size_t>(n)] == arcs,
+                "serial degree prefix sum lost arcs: offsets[n]=",
+                g.offsets_[static_cast<std::size_t>(n)], " expected ", arcs);
 
     g.adj_.resize(static_cast<std::size_t>(arcs));
     g.weights_.resize(static_cast<std::size_t>(arcs));
@@ -254,7 +257,9 @@ CSRGraph CSRGraph::from_edges(vid_t n, const EdgeList& input, bool directed,
     });
     parallel::exclusive_prefix_sum(deg.data(), g.offsets_.data(),
                                    static_cast<std::size_t>(n));
-    assert(g.offsets_[static_cast<std::size_t>(n)] == arcs);
+    SNAP_DCHECK(g.offsets_[static_cast<std::size_t>(n)] == arcs,
+                "histogram reduction lost arcs: offsets[n]=",
+                g.offsets_[static_cast<std::size_t>(n)], " expected ", arcs);
 
     // Atomic-cursor placement: arcs land in scheduling order, which the
     // (neighbor, edge id) adjacency sort below canonicalizes.
@@ -288,6 +293,7 @@ CSRGraph CSRGraph::from_edges(vid_t n, const EdgeList& input, bool directed,
     sort_adjacency_slices(n, g.offsets_, g.adj_, g.weights_, g.arc_edge_ids_);
     g.sorted_ = true;
   }
+  SNAP_VALIDATE(g);
   return g;
 }
 

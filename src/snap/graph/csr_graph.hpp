@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "snap/debug/fwd.hpp"
 #include "snap/graph/types.hpp"
 
 namespace snap {
@@ -103,6 +104,9 @@ class CSRGraph {
   [[nodiscard]] const EdgeList& edges() const { return edge_endpoints_; }
 
  private:
+  // Validators (and their mutation tests) read the raw arrays directly.
+  friend struct debug::Access;
+
   vid_t n_ = 0;
   eid_t m_ = 0;
   bool directed_ = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/debug/check.hpp"
+#include "snap/debug/validate.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/util/parallel.hpp"
 
@@ -58,15 +60,24 @@ bool DynamicGraph::has_arc(vid_t u, vid_t v) const {
 
 bool DynamicGraph::insert_edge(vid_t u, vid_t v) {
   if (has_arc(u, v)) return false;
-  insert_arc(u, v);
-  if (!directed_ && u != v) insert_arc(v, u);
+  const bool fwd = insert_arc(u, v);
+  SNAP_DCHECK(fwd, "arc (", u, ",", v, ") vanished between has_arc and insert");
+  if (!directed_ && u != v) {
+    const bool mirror = insert_arc(v, u);
+    SNAP_DCHECK(mirror, "mirror arc (", v, ",", u,
+                ") already present: adjacency asymmetry");
+  }
   ++m_;
   return true;
 }
 
 bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
   if (!delete_arc(u, v)) return false;
-  if (!directed_ && u != v) delete_arc(v, u);
+  if (!directed_ && u != v) {
+    const bool mirror = delete_arc(v, u);
+    SNAP_DCHECK(mirror, "mirror arc (", v, ",", u,
+                ") missing on delete: adjacency asymmetry");
+  }
   --m_;
   return true;
 }
@@ -79,7 +90,8 @@ eid_t DynamicGraph::degree(vid_t v) const {
 }
 
 void DynamicGraph::for_each_neighbor(
-    vid_t v, const std::function<void(vid_t)>& fn) const {
+    vid_t v, const std::function<void(vid_t)>& fn)  // lint:allow(std-function)
+    const {
   for_each_neighbor(v, [&fn](vid_t u) { fn(u); });
 }
 
@@ -106,12 +118,22 @@ CSRGraph DynamicGraph::to_csr() const {
       if (directed_ || u <= v) edges[static_cast<std::size_t>(at++)] = {u, v, 1.0};
     });
   });
-  return CSRGraph::from_edges(n, edges, directed_);
+  // Keep self loops: the adjacency structures store them (one arc, one
+  // logical edge), so the default remove_self_loops=true would silently
+  // shrink the snapshot below num_edges().  Dedupe stays on purely for its
+  // canonical (u, v, w) edge ordering — arcs are already unique here.
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  CSRGraph g = CSRGraph::from_edges(n, edges, directed_, opts);
+  SNAP_DCHECK(g.num_edges() == m_, "to_csr emitted ", g.num_edges(),
+              " edges but the dynamic graph tracks ", m_);
+  return g;
 }
 
 DynamicGraph DynamicGraph::from_csr(const CSRGraph& g, eid_t promote_threshold) {
   DynamicGraph d(g.num_vertices(), g.directed(), promote_threshold);
   for (const Edge& e : g.edges()) d.insert_edge(e.u, e.v);
+  SNAP_VALIDATE(d);
   return d;
 }
 

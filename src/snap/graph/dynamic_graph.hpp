@@ -3,6 +3,7 @@
 #include <functional>
 #include <vector>
 
+#include "snap/debug/fwd.hpp"
 #include "snap/ds/treap.hpp"
 #include "snap/graph/types.hpp"
 
@@ -69,7 +70,8 @@ class DynamicGraph {
   /// ABI-friendly non-template overload (kept for existing out-of-line
   /// callers; lambdas resolve to the template above).
   void for_each_neighbor(vid_t v,
-                         const std::function<void(vid_t)>& fn) const;
+                         const std::function<void(vid_t)>& fn)  // lint:allow(std-function)
+      const;
 
   /// Snapshot to the static CSR representation (sorted adjacency).  Edge
   /// extraction is parallel (per-vertex counts + prefix sum); the result is
@@ -84,6 +86,8 @@ class DynamicGraph {
   // vertex's adjacency owned by exactly one thread; it needs the arc
   // primitives and fixes up m_ itself.
   friend class stream::StreamingGraph;
+  // Validators (and their mutation tests) read the raw adjacency state.
+  friend struct debug::Access;
 
   bool directed_;
   eid_t promote_threshold_;

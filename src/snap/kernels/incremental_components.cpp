@@ -1,5 +1,7 @@
 #include "snap/kernels/incremental_components.hpp"
 
+#include "snap/debug/validate.hpp"
+
 namespace snap {
 
 IncrementalComponents::IncrementalComponents(const DynamicGraph& graph)
@@ -41,6 +43,7 @@ void IncrementalComponents::rebuild() {
   }
   stale_ = false;
   ++rebuilds_;
+  SNAP_VALIDATE(uf_);
 }
 
 }  // namespace snap

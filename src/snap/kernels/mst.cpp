@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "snap/debug/check.hpp"
+#include "snap/debug/validate.hpp"
 #include "snap/ds/union_find.hpp"
 #include "snap/kernels/bfs.hpp"
 #include "snap/kernels/connected_components.hpp"
@@ -72,6 +74,11 @@ MSTResult boruvka_mst(const CSRGraph& g) {
     }
   }
   r.num_trees = static_cast<vid_t>(uf.num_sets());
+  SNAP_DCHECK(r.tree_edges.size() + uf.num_sets() ==
+                  static_cast<std::size_t>(n),
+              "forest accounting broken: ", r.tree_edges.size(),
+              " tree edges + ", uf.num_sets(), " trees != ", n, " vertices");
+  SNAP_VALIDATE(uf);
   return r;
 }
 

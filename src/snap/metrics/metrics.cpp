@@ -33,6 +33,7 @@ eid_t wedge_closures(const CSRGraph& g, vid_t v) {
   const auto nv = g.neighbors(v);
   eid_t closed = 0;
   for (vid_t u : nv) {
+    if (u == v) continue;  // self-loop arcs close no wedges
     // |N(v) ∩ N(u)| counts w adjacent to both; each closed wedge (u, w)
     // appears twice over the u loop, so the caller divides by 2.
     const auto nu = g.neighbors(u);
@@ -52,13 +53,24 @@ eid_t wedge_closures(const CSRGraph& g, vid_t v) {
   return closed / 2;
 }
 
+/// Degree excluding self-loop arcs (a loop stores two arcs to v itself).
+/// Clustering coefficients are defined on the simple graph: loops close no
+/// wedges, so counting their arcs in the denominator deflates the ratio.
+eid_t simple_degree(const CSRGraph& g, vid_t v) {
+  const auto nv = g.neighbors(v);
+  eid_t d = static_cast<eid_t>(nv.size());
+  for (vid_t u : nv)
+    if (u == v) --d;
+  return d;
+}
+
 }  // namespace
 
 std::vector<double> local_clustering_coefficients(const CSRGraph& g) {
   const vid_t n = g.num_vertices();
   std::vector<double> cc(static_cast<std::size_t>(n), 0.0);
   parallel::parallel_for_dynamic(n, [&](vid_t v) {
-    const eid_t d = g.degree(v);
+    const eid_t d = simple_degree(g, v);
     if (d < 2) return;
     const eid_t closed = wedge_closures(g, v);
     cc[static_cast<std::size_t>(v)] =
@@ -80,7 +92,7 @@ double global_clustering_coefficient(const CSRGraph& g) {
   const vid_t n = g.num_vertices();
   std::atomic<eid_t> closed{0}, wedges{0};
   parallel::parallel_for_dynamic(n, [&](vid_t v) {
-    const eid_t d = g.degree(v);
+    const eid_t d = simple_degree(g, v);
     if (d < 2) return;
     closed.fetch_add(wedge_closures(g, v), std::memory_order_relaxed);
     wedges.fetch_add(d * (d - 1) / 2, std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "snap/debug/validate.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap::stream {
@@ -108,6 +109,10 @@ ApplyStats StreamingGraph::apply_canonical(const CanonicalBatch& cb) {
   st.applied_inserts = ab.inserted.size();
   st.applied_deletes = ab.deleted.size();
 
+  // Post-batch structural check runs before observers see the new state, so
+  // a corrupted graph is caught at the batch that broke it, not downstream.
+  SNAP_VALIDATE(graph_);
+
   ++epoch_;
   ab.epoch = epoch_;
   ab.num_vertices = graph_.num_vertices();
@@ -120,6 +125,7 @@ const CSRGraph& StreamingGraph::snapshot() const {
   if (snapshot_epoch_ != epoch_) {
     snapshot_ = graph_.to_csr();
     snapshot_epoch_ = epoch_;
+    SNAP_VALIDATE(*this);
   }
   return snapshot_;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "snap/debug/fwd.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/graph/dynamic_graph.hpp"
 #include "snap/stream/update_batch.hpp"
@@ -81,6 +82,9 @@ class StreamingGraph {
   const CSRGraph& snapshot() const;
 
  private:
+  // Validators read the snapshot-cache epoch.
+  friend struct debug::Access;
+
   ApplyStats apply_canonical(const CanonicalBatch& cb);
 
   DynamicGraph graph_;

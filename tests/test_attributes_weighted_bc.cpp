@@ -54,8 +54,8 @@ TEST(Attributes, DuplicateNameThrows) {
 TEST(Attributes, TypeMismatchThrows) {
   AttributeTable t(1);
   t.add_int_column("a");
-  EXPECT_THROW(t.reals("a"), std::invalid_argument);
-  EXPECT_THROW(t.ints("nope"), std::out_of_range);
+  EXPECT_THROW((void)t.reals("a"), std::invalid_argument);
+  EXPECT_THROW((void)t.ints("nope"), std::out_of_range);
 }
 
 TEST(Attributes, SelectDrivesSubgraphExtraction) {

@@ -12,6 +12,8 @@
 #include <tuple>
 #include <vector>
 
+#include "snap/debug/determinism.hpp"
+#include "snap/debug/validate.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/util/parallel.hpp"
 #include "snap/util/rng.hpp"
@@ -133,6 +135,28 @@ INSTANTIATE_TEST_SUITE_P(
     Configs, BuildDifferential,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Bool(),
                        ::testing::Values(1, 2, 4, 8)));
+
+// The thread sweep above proves parallel == serial at each t separately;
+// this pins the stronger cross-thread-count claim on the shared harness:
+// the parallel builder's output arrays hash identically at t = 1, 2, 4, 8.
+TEST(BuildDifferentialEdgeCases, ParallelBuildHashesIdenticallyAcrossThreads) {
+  const EdgeList edges = messy_edges(2000, 60000, 77);
+  for (const bool directed : {false, true}) {
+    BuildOptions opts;
+    opts.path = BuildPath::kParallel;
+    opts.remove_self_loops = false;
+    const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+      const CSRGraph g = CSRGraph::from_edges(2000, edges, directed, opts);
+      h.value(g.num_edges());
+      h.sequence(debug::Access::offsets(g));
+      h.sequence(debug::Access::adj(g));
+      h.sequence(debug::Access::weights(g));
+      h.sequence(debug::Access::arc_edge_ids(g));
+    });
+    ASSERT_TRUE(report.deterministic)
+        << (directed ? "directed: " : "undirected: ") << report.to_string();
+  }
+}
 
 TEST(BuildDifferentialEdgeCases, OutOfRangeErrorIsDeterministic) {
   // The parallel prepare pass aggregates errors instead of throwing

@@ -106,10 +106,12 @@ TEST(Betweenness, EdgeScoresOnBarbellBridge) {
   ASSERT_NE(bridge, kInvalidEid);
   EXPECT_DOUBLE_EQ(bc.edge[static_cast<std::size_t>(bridge)], 16.0);
   // And it is the strict maximum.
-  for (eid_t e = 0; e < g.num_edges(); ++e)
-    if (e != bridge)
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    if (e != bridge) {
       EXPECT_LT(bc.edge[static_cast<std::size_t>(e)],
                 bc.edge[static_cast<std::size_t>(bridge)]);
+    }
+  }
 }
 
 class BetweennessGranularity

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "snap/debug/determinism.hpp"
 #include "snap/ds/union_find.hpp"
 #include "snap/gen/generators.hpp"
 #include "snap/kernels/bfs.hpp"
@@ -147,6 +148,37 @@ TEST_P(Differential, ComponentsMatchUnionFindOracle) {
     EXPECT_EQ(it->second, root) << "vertex " << v;
     const auto [jt, jnew] = root_to_label.try_emplace(root, label);
     EXPECT_EQ(jt->second, label) << "vertex " << v;
+  }
+}
+
+// Cross-thread-count invariance, on the shared harness (debug::
+// check_determinism) instead of the ad-hoc compare-against-t=1 loops this
+// file used to imply through its oracle: BFS distances and the component
+// partition hash identically at every thread count, per generator family.
+TEST(DifferentialInvariance, TraversalResultsHashIdenticallyAcrossThreads) {
+  for (int which = 0; which < kNumGenerators; ++which) {
+    const CSRGraph g = make_graph(which);
+    const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+      for (vid_t s : sample_sources(g)) {
+        const BFSResult b = bfs_hybrid(g, s);
+        h.sequence(b.dist);
+        h.value(b.num_visited);
+      }
+      const Components cc = connected_components(g);
+      h.value(cc.count);
+      // Hash the partition, not the label values: renumber first-seen.
+      std::vector<vid_t> remap(cc.label.size(), kInvalidVid);
+      std::vector<vid_t> canon(cc.label.size());
+      vid_t next = 0;
+      for (std::size_t v = 0; v < cc.label.size(); ++v) {
+        auto& slot = remap[static_cast<std::size_t>(cc.label[v])];
+        if (slot == kInvalidVid) slot = next++;
+        canon[v] = slot;
+      }
+      h.sequence(canon);
+    });
+    ASSERT_TRUE(report.deterministic)
+        << "generator " << which << ": " << report.to_string();
   }
 }
 

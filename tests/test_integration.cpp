@@ -75,8 +75,9 @@ TEST(Pipeline, ArticulationHubsAlsoScoreHighBetweenness) {
   const auto bcc = biconnected_components(g);
   const auto bc = betweenness_centrality(g);
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
-    if (bcc.is_articulation[static_cast<std::size_t>(v)])
+    if (bcc.is_articulation[static_cast<std::size_t>(v)]) {
       EXPECT_GT(bc.vertex[static_cast<std::size_t>(v)], 0.0);
+    }
   }
 }
 

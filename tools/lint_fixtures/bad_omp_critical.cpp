@@ -1,0 +1,11 @@
+// Fixture: must trigger [omp-critical] — critical section with no
+// justification comment anywhere near it.
+int tally(int n) {
+  int total = 0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+#pragma omp critical
+    total += i;
+  }
+  return total;
+}

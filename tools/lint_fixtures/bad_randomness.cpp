@@ -1,0 +1,11 @@
+// Fixture: must trigger [randomness] — unseeded stdlib RNG in library code.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int noise() {
+  std::random_device rd;
+  srand(static_cast<unsigned>(time(nullptr)));
+  std::mt19937 gen(rd());
+  return rand() + static_cast<int>(gen());
+}

@@ -1,0 +1,11 @@
+// Fixture: must trigger [reduction-note] — float accumulation with no
+// order-dependence comment.
+#include <atomic>
+
+namespace parallel {
+void atomic_add(std::atomic<double>&, double);
+}
+
+void accumulate(std::atomic<double>& sum, double x) {
+  parallel::atomic_add(sum, x);
+}

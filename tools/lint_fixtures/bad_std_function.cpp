@@ -1,0 +1,6 @@
+// Fixture: must trigger [std-function] — type-erased visitor parameter.
+#include <functional>
+
+void for_each_neighbor(long v, const std::function<void(long)>& fn) {
+  fn(v);
+}

@@ -1,0 +1,37 @@
+// Fixture: must produce NO findings.  Each rule's escape hatch in action:
+// suppressions, justification/reduction comments, and benign look-alikes
+// inside comments and strings.
+#include <atomic>
+#include <functional>
+
+namespace parallel {
+void atomic_add(std::atomic<double>&, double);
+}
+
+// Comment mentioning std::function and rand() must not trip anything.
+const char* doc() { return "calls rand() via std::random_device"; }
+
+void shim(long v, const std::function<void(long)>& fn)  // lint:allow(std-function)
+{
+  fn(v);
+}
+
+int tally(int n) {
+  int total = 0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    // justification: bounded to n iterations of a cold path; contention
+    // is irrelevant here and the serial order is what the test asserts.
+#pragma omp critical
+    total += i;
+  }
+  return total;
+}
+
+void accumulate(std::atomic<double>& sum, double x) {
+  // reduction: order-dependent float sum; not thread-count reproducible.
+  parallel::atomic_add(sum, x);
+}
+
+// Identifier containing "rand" as a substring must not match.
+int operand_count(int strand) { return strand; }

@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for the SNAP library sources.
+
+clang-tidy covers the generic C++ pitfalls; these rules encode contracts
+that are unique to this codebase's determinism and performance guarantees:
+
+  randomness        No rand()/srand()/std::random_device/std::mt19937/
+                    time(NULL)-style seeding outside snap/util/rng.hpp.
+                    Every random stream must flow through the seeded,
+                    deterministic SplitMix64 so results are reproducible.
+  std-function      No std::function in snap library code (parameters or
+                    members): hot-loop visitor APIs must stay templated so
+                    the per-neighbor callback inlines.  The one deliberate
+                    ABI-compat overload carries a suppression.
+  omp-critical      Every `#pragma omp critical` needs an adjacent
+                    `justification:` comment.  Criticals serialize a
+                    parallel region; an unexplained one is either a perf
+                    bug or a determinism patch hiding a design problem.
+  reduction-note    Every parallel::atomic_add call site needs a nearby
+                    `reduction:` comment stating that the accumulated
+                    value is order-dependent (and hence not thread-count
+                    reproducible).  Keeps the float-determinism contract
+                    (docs/CORRECTNESS.md) auditable by grep.
+
+Suppress a finding with `// lint:allow(<rule>)` on the offending line.
+
+Usage:
+  lint_snap.py --root <repo-root>         lint src/snap; exit 1 on findings
+  lint_snap.py --self-test [--root ...]   run the fixture suite in
+                                          tools/lint_fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+
+@dataclass
+class Finding:
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Return the file's lines with comments and string/char literals
+    blanked out (replaced by spaces, preserving line structure), so the
+    rules below match only real code."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out).splitlines()
+
+
+def suppressed(raw_lines: list[str], idx: int, rule: str) -> bool:
+    return f"lint:allow({rule})" in raw_lines[idx]
+
+
+RANDOMNESS_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "time()-based seeding"),
+]
+
+
+def check_randomness(path, raw, code):
+    if path.name == "rng.hpp" and path.parent.name == "util":
+        return
+    for i, line in enumerate(code):
+        for pat, what in RANDOMNESS_PATTERNS:
+            if pat.search(line) and not suppressed(raw, i, "randomness"):
+                yield Finding(path, i + 1, "randomness",
+                              f"{what} outside snap/util/rng.hpp breaks "
+                              "run-to-run reproducibility; use SplitMix64 "
+                              "with an explicit seed")
+
+
+STD_FUNCTION = re.compile(r"\bstd::function\b")
+
+
+def check_std_function(path, raw, code):
+    for i, line in enumerate(code):
+        if STD_FUNCTION.search(line) and not suppressed(raw, i, "std-function"):
+            yield Finding(path, i + 1, "std-function",
+                          "std::function in library code defeats visitor "
+                          "inlining; take a template callable (suppress "
+                          "deliberate ABI shims with "
+                          "// lint:allow(std-function))")
+
+
+OMP_CRITICAL = re.compile(r"#\s*pragma\s+omp\s+critical")
+
+
+def check_omp_critical(path, raw, code):
+    for i, line in enumerate(code):
+        if not OMP_CRITICAL.search(line):
+            continue
+        if suppressed(raw, i, "omp-critical"):
+            continue
+        window = raw[max(0, i - 2) : i + 1]
+        if not any("justification:" in w for w in window):
+            yield Finding(path, i + 1, "omp-critical",
+                          "#pragma omp critical without a 'justification:' "
+                          "comment within the two preceding lines; explain "
+                          "why serialization is unavoidable here")
+
+
+ATOMIC_ADD = re.compile(r"\bparallel\s*::\s*atomic_add\s*\(")
+
+
+def check_reduction_note(path, raw, code):
+    if path.name == "parallel.hpp":
+        return  # the primitive's own definition
+    for i, line in enumerate(code):
+        if not ATOMIC_ADD.search(line):
+            continue
+        if suppressed(raw, i, "reduction-note"):
+            continue
+        window = raw[max(0, i - 3) : i + 1]
+        if not any("reduction:" in w for w in window):
+            yield Finding(path, i + 1, "reduction-note",
+                          "parallel::atomic_add without a 'reduction:' "
+                          "comment within the three preceding lines; state "
+                          "that this sum is accumulation-order-dependent")
+
+
+CHECKS = [check_randomness, check_std_function, check_omp_critical,
+          check_reduction_note]
+
+
+def lint_file(path: pathlib.Path) -> list[Finding]:
+    text = path.read_text(encoding="utf-8")
+    raw = text.splitlines()
+    code = strip_comments_and_strings(text)
+    # The two views can disagree in length only on pathological final lines;
+    # pad so index lookups stay safe.
+    while len(code) < len(raw):
+        code.append("")
+    while len(raw) < len(code):
+        raw.append("")
+    findings: list[Finding] = []
+    for check in CHECKS:
+        findings.extend(check(path, raw, code))
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> list[Finding]:
+    src = root / "src" / "snap"
+    findings: list[Finding] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".hpp", ".cpp"):
+            findings.extend(lint_file(path))
+    return findings
+
+
+def self_test(root: pathlib.Path) -> int:
+    """Fixture suite: every bad_<rule>* file must trigger exactly that rule;
+    every good_* file must be clean."""
+    fixtures = root / "tools" / "lint_fixtures"
+    failures = 0
+    cases = sorted(fixtures.glob("*.cpp"))
+    if not cases:
+        print(f"self-test: no fixtures found under {fixtures}", file=sys.stderr)
+        return 1
+    for path in cases:
+        findings = lint_file(path)
+        name = path.stem
+        if name.startswith("bad_"):
+            expected = name[len("bad_"):].rsplit("_", 1)[0] \
+                if name[len("bad_"):].rsplit("_", 1)[-1].isdigit() \
+                else name[len("bad_"):]
+            expected = expected.replace("_", "-")
+            hit = [f for f in findings if f.rule == expected]
+            wrong = [f for f in findings if f.rule != expected]
+            if not hit:
+                print(f"self-test FAIL: {path.name} expected a "
+                      f"[{expected}] finding, got none", file=sys.stderr)
+                failures += 1
+            if wrong:
+                for f in wrong:
+                    print(f"self-test FAIL: {path.name} unexpected {f}",
+                          file=sys.stderr)
+                failures += 1
+        else:
+            for f in findings:
+                print(f"self-test FAIL: clean fixture {path.name} "
+                      f"flagged: {f}", file=sys.stderr)
+                failures += 1
+    if failures == 0:
+        print(f"self-test OK ({len(cases)} fixtures)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent,
+                    help="repository root (default: inferred from this file)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the lint_fixtures suite instead of linting src")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_snap: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_snap: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

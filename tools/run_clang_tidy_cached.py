@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""clang-tidy over the snap library with a content-hash skip cache.
+
+CI calls this with a cache stamp path that actions/cache persists between
+runs.  The stamp records a SHA-256 over every linted source/header, the
+.clang-tidy config and the clang-tidy version; when nothing changed, the
+whole run is skipped (clang-tidy is by far the slowest step of the
+static-analysis job).
+
+Usage:
+  run_clang_tidy_cached.py --build-dir build [--stamp .tidy-stamp]
+                           [--clang-tidy clang-tidy] [-j N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def tree_digest(clang_tidy: str) -> str:
+    h = hashlib.sha256()
+    try:
+        version = subprocess.run([clang_tidy, "--version"], check=True,
+                                 capture_output=True, text=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        version = "unknown"
+    h.update(version.encode())
+    h.update((ROOT / ".clang-tidy").read_bytes())
+    for path in sorted((ROOT / "src").rglob("*")):
+        if path.suffix in (".hpp", ".cpp"):
+            h.update(str(path.relative_to(ROOT)).encode())
+            h.update(path.read_bytes())
+    return h.hexdigest()
+
+
+def lint_sources(build_dir: pathlib.Path) -> list[str]:
+    """Translation units to lint, from the compilation database: the library
+    sources only (tests/benches are compiled, not tidied — they are gtest/
+    gbench macro soup that drowns the signal)."""
+    db = json.loads((build_dir / "compile_commands.json").read_text())
+    wanted = []
+    for entry in db:
+        f = entry["file"]
+        if "/src/snap/" in f and f.endswith(".cpp"):
+            wanted.append(f)
+    return sorted(set(wanted))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", type=pathlib.Path, default=ROOT / "build")
+    ap.add_argument("--stamp", type=pathlib.Path,
+                    default=ROOT / ".clang-tidy-stamp")
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("-j", type=int, default=multiprocessing.cpu_count())
+    args = ap.parse_args()
+
+    digest = tree_digest(args.clang_tidy)
+    if args.stamp.exists() and args.stamp.read_text().strip() == digest:
+        print(f"clang-tidy: cache hit ({digest[:12]}), skipping")
+        return 0
+
+    files = lint_sources(args.build_dir)
+    if not files:
+        print("clang-tidy: no library sources in compile_commands.json",
+              file=sys.stderr)
+        return 1
+    print(f"clang-tidy: linting {len(files)} translation units")
+
+    failed = False
+    batch = max(1, len(files) // max(args.j, 1) + 1)
+    procs = []
+    for i in range(0, len(files), batch):
+        procs.append(subprocess.Popen(
+            [args.clang_tidy, "-p", str(args.build_dir), "--quiet",
+             *files[i : i + batch]]))
+    for p in procs:
+        if p.wait() != 0:
+            failed = True
+    if failed:
+        return 1
+
+    args.stamp.write_text(digest + "\n")
+    print("clang-tidy: clean; stamp updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
