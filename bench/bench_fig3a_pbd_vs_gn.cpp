@@ -8,9 +8,18 @@
 // is per-unit-work; the paper's single-thread ratios range from ~8x (PPI,
 // small) to ~26x (NDwww), compounding to up to ~343x overall.
 //
+// The GN baseline column is the unengineered flavor (full_recompute — every
+// component rescored every round, the classic O(n·m)-per-round loop); the
+// "GN rest." column is our component-restricted GN, whose per-round cost
+// follows the touched component's size rather than the graph's.  The ratio
+// between the two is the score-caching win on its own.
+//
 // Full GN on the larger instances is infeasible by design (that is the
 // paper's point); instance sizes follow SNAP_SCALE and the iteration count
 // is fixed, which preserves the per-iteration cost ratio the figure shows.
+//
+// Flags: --json out.json (machine-readable records), --smoke (small
+// instances for CI).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -19,13 +28,20 @@
 #include "snap/util/parallel.hpp"
 #include "snap/util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snap;
   using namespace snapbench;
   print_header("Figure 3(a): pBD vs GN — algorithm engineering x parallelism");
 
+  const bool smoke = has_flag(argc, argv, "--smoke");
+  JsonReport report("bench_fig3a_pbd_vs_gn",
+                    flag_value(argc, argv, "--json"));
+
   // GN-feasible sizes: cap every instance to at most gn_cap vertices.
-  const double s = scale();
+  const double s = smoke ? 0.05 : scale();
+  auto scl = [&](vid_t x) {
+    return std::max<vid_t>(64, static_cast<vid_t>(static_cast<double>(x) * s));
+  };
   const auto gn_cap = static_cast<vid_t>(6000 * s * 4);  // ~6k at default
   auto shrink = [&](vid_t n) { return std::min<vid_t>(n, gn_cap); };
 
@@ -34,35 +50,62 @@ int main() {
     CSRGraph g;
   };
   std::vector<Inst> insts;
-  insts.push_back({"PPI", rmat_fold(shrink(scaled(8503)),
-                                    scaled(8503) <= gn_cap ? std::max<eid_t>(64, static_cast<eid_t>(32191 * s))
-                                                           : gn_cap * 4,
+  insts.push_back({"PPI", rmat_fold(shrink(scl(8503)),
+                                    scl(8503) <= gn_cap ? std::max<eid_t>(64, static_cast<eid_t>(32191 * s))
+                                                        : gn_cap * 4,
                                     false, 101)});
+  if (!smoke) {
+    insts.push_back(
+        {"Citations", rmat_fold(shrink(scl(27400)), gn_cap * 6, false, 102)});
+    insts.push_back({"DBLP", gen::planted_partition(
+                                 shrink(scl(310138)),
+                                 std::max<vid_t>(4, shrink(scl(310138)) / 150),
+                                 5.6, 1.0, 103)});
+    insts.push_back(
+        {"NDwww", rmat_fold(shrink(scl(325729)), gn_cap * 4, false, 104)});
+  }
   insts.push_back(
-      {"Citations", rmat_fold(shrink(scaled(27400)), gn_cap * 6, false, 102)});
-  insts.push_back({"DBLP", gen::planted_partition(
-                               shrink(scaled(310138)),
-                               std::max<vid_t>(4, shrink(scaled(310138)) / 150),
-                               5.6, 1.0, 103)});
-  insts.push_back(
-      {"NDwww", rmat_fold(shrink(scaled(325729)), gn_cap * 4, false, 104)});
-  insts.push_back(
-      {"RMAT-SF", rmat_fold(shrink(scaled(400000)), gn_cap * 4, false, 106)});
+      {"RMAT-SF", rmat_fold(shrink(scl(400000)), gn_cap * 4, false, 106)});
+  // Many disjoint communities (zero inter-community edges): every round's
+  // dirty set is one small component, so the gap between GN full_recompute
+  // and restricted GN is the per-round component-vs-graph scaling itself.
+  insts.push_back({"Frag-20c",
+                   gen::planted_partition(
+                       gn_cap, std::max<vid_t>(4, gn_cap / 300), 8.0,
+                       /*inter=*/0.0, 105)});
 
-  const eid_t iters = 6;  // same divisive work for both algorithms
+  const eid_t iters = smoke ? 4 : 6;  // same divisive work for everyone
   const int pmax = max_threads();
 
-  std::printf("%-10s %8s %8s | %10s %10s %8s | %9s %8s\n", "Instance", "n",
-              "m", "GN 1t (s)", "pBD 1t(s)", "eng x", "par x", "overall");
+  std::printf("%-10s %8s %8s | %10s %10s %8s | %10s %8s %9s %8s\n", "Instance",
+              "n", "m", "GN full(s)", "GN rest(s)", "cache x", "pBD 1t(s)",
+              "eng x", "par x", "overall");
   for (auto& inst : insts) {
     DivisiveParams stop;
     stop.max_iterations = iters;
-    double gn_s, pbd1_s, pbdp_s;
+    const JsonReport::Params params{
+        {"n", std::to_string(inst.g.num_vertices())},
+        {"m", std::to_string(inst.g.num_edges())},
+        {"iters", std::to_string(iters)}};
+    const auto rounds = static_cast<double>(iters);
+    double gn_full_s, gn_rest_s, pbd1_s, pbdp_s;
+    {
+      parallel::ThreadScope scope(1);
+      DivisiveParams full = stop;
+      full.full_recompute = true;
+      WallTimer w;
+      (void)girvan_newman(inst.g, full);
+      gn_full_s = w.elapsed_s();
+      report.record(inst.label, params, 1, "gn_full_recompute", gn_full_s,
+                    rounds / gn_full_s);
+    }
     {
       parallel::ThreadScope scope(1);
       WallTimer w;
       (void)girvan_newman(inst.g, stop);
-      gn_s = w.elapsed_s();
+      gn_rest_s = w.elapsed_s();
+      report.record(inst.label, params, 1, "gn_restricted", gn_rest_s,
+                    rounds / gn_rest_s);
     }
     PBDParams bp;
     bp.stop = stop;
@@ -71,23 +114,28 @@ int main() {
       WallTimer w;
       (void)pbd(inst.g, bp);
       pbd1_s = w.elapsed_s();
+      report.record(inst.label, params, 1, "pbd", pbd1_s, rounds / pbd1_s);
     }
     {
       parallel::ThreadScope scope(pmax);
       WallTimer w;
       (void)pbd(inst.g, bp);
       pbdp_s = w.elapsed_s();
+      report.record(inst.label, params, pmax, "pbd", pbdp_s, rounds / pbdp_s);
     }
-    const double eng = gn_s / pbd1_s;
+    const double eng = gn_full_s / pbd1_s;
     const double par = pbd1_s / pbdp_s;
-    std::printf("%-10s %8lld %8lld | %10.2f %10.3f %8.1f | %9.2f %8.1f\n",
-                inst.label, static_cast<long long>(inst.g.num_vertices()),
-                static_cast<long long>(inst.g.num_edges()), gn_s, pbd1_s, eng,
-                par, eng * par);
+    std::printf(
+        "%-10s %8lld %8lld | %10.2f %10.3f %8.1f | %10.3f %8.1f %9.2f %8.1f\n",
+        inst.label, static_cast<long long>(inst.g.num_vertices()),
+        static_cast<long long>(inst.g.num_edges()), gn_full_s, gn_rest_s,
+        gn_full_s / gn_rest_s, pbd1_s, eng, par, eng * par);
   }
   std::printf(
       "\nPaper shape: engineering speedup grows with instance size (~8x on\n"
       "the small PPI up to ~26x on NDwww); multiplied by a ~13x parallel\n"
-      "speedup it reaches ~343x overall on the T2000.\n");
+      "speedup it reaches ~343x overall on the T2000.  'cache x' isolates\n"
+      "the component-restricted rescoring win inside GN itself.\n");
+  report.write();
   return 0;
 }

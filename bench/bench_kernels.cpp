@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/timer.hpp"
 #include "snap/centrality/betweenness.hpp"
 #include "snap/community/modularity.hpp"
 #include "snap/community/pma.hpp"
@@ -177,6 +180,45 @@ void BM_DeltaStepping(benchmark::State& state) {
 }
 BENCHMARK(BM_DeltaStepping)->Arg(0)->Arg(1)->ArgName("rmat");
 
+// Exact Brandes runs all n sources — use a dedicated smaller instance so the
+// benchmark stays in micro territory.
+const CSRGraph& bc_instance() {
+  static const CSRGraph g = [] {
+    gen::RmatParams p;
+    p.scale = 11;  // 2k vertices
+    p.edge_factor = 8;
+    p.seed = 9;
+    return gen::rmat(p);
+  }();
+  return g;
+}
+
+void BM_BetweennessCoarse(benchmark::State& state) {
+  const CSRGraph& g = bc_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        betweenness_centrality(g, BCGranularity::kCoarse));
+  }
+}
+BENCHMARK(BM_BetweennessCoarse);
+
+void BM_BetweennessFine(benchmark::State& state) {
+  const CSRGraph& g = bc_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(betweenness_centrality(g, BCGranularity::kFine));
+  }
+}
+BENCHMARK(BM_BetweennessFine);
+
+void BM_EdgeBetweennessMasked(benchmark::State& state) {
+  const CSRGraph& g = bc_instance();
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge_betweenness_masked(g, alive));
+  }
+}
+BENCHMARK(BM_EdgeBetweennessMasked);
+
 void BM_ApproxEdgeBetweenness(benchmark::State& state) {
   const CSRGraph& g = pick(state.range(0) != 0);
   std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
@@ -219,6 +261,66 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild)->Arg(0)->Arg(1)->ArgName("rmat");
 
+/// Smoke/JSON mode (CI perf trajectory): time each Brandes engine entry
+/// point once on a small instance and emit sources-per-second records.
+/// Invoked with `--smoke` and/or `--json out.json`; without either flag the
+/// binary is the ordinary google-benchmark suite.
+int run_centrality_smoke(int argc, char** argv) {
+  using namespace snapbench;
+  print_header("bench_kernels centrality smoke: Brandes engine sources/s");
+  JsonReport report("bench_kernels", flag_value(argc, argv, "--json"));
+
+  gen::RmatParams rp;
+  rp.scale = has_flag(argc, argv, "--smoke") ? 9 : 11;
+  rp.edge_factor = 8;
+  rp.seed = 9;
+  const CSRGraph g = gen::rmat(rp);
+  // Weighted twin of the same topology (distinct weights, Dijkstra phase).
+  EdgeList wedges = g.edges();
+  for (std::size_t i = 0; i < wedges.size(); ++i)
+    wedges[i].w = static_cast<weight_t>(1 + (i % 7));
+  const CSRGraph wg = CSRGraph::from_edges(g.num_vertices(), wedges, false);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+
+  const int nt = max_threads();
+  const auto n = static_cast<double>(g.num_vertices());
+  const JsonReport::Params params{{"n", std::to_string(g.num_vertices())},
+                                  {"m", std::to_string(g.num_edges())}};
+  parallel::ThreadScope scope(nt);
+  struct Entry {
+    const char* phase;
+    std::function<void()> run;
+  };
+  // lint:allow(std-function) bench driver table, not library code
+  const std::vector<Entry> entries{
+      {"brandes_coarse",
+       [&] { betweenness_centrality(g, BCGranularity::kCoarse); }},
+      {"brandes_fine",
+       [&] { betweenness_centrality(g, BCGranularity::kFine); }},
+      {"brandes_masked", [&] { edge_betweenness_masked(g, alive); }},
+      {"brandes_weighted", [&] { weighted_betweenness_centrality(wg); }},
+  };
+  std::printf("%-18s %10s %12s\n", "phase", "seconds", "sources/s");
+  for (const auto& e : entries) {
+    WallTimer w;
+    e.run();
+    const double sec = w.elapsed_s();
+    report.record("rmat", params, nt, e.phase, sec, n / sec);
+    std::printf("%-18s %10.3f %12.0f\n", e.phase, sec, n / sec);
+  }
+  report.write();
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (snapbench::has_flag(argc, argv, "--smoke") ||
+      !snapbench::flag_value(argc, argv, "--json").empty())
+    return run_centrality_smoke(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

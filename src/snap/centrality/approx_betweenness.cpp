@@ -4,64 +4,23 @@
 #include <numeric>
 #include <vector>
 
+#include "snap/centrality/brandes_core.hpp"
 #include "snap/util/rng.hpp"
 
 namespace snap {
 
 namespace {
 
-/// One unweighted Brandes traversal from s; returns per-vertex dependencies
-/// in `delta` and, when `edge_delta` is non-null, per-logical-edge
-/// dependencies.
-void dependencies_from(const CSRGraph& g, vid_t s, std::vector<double>& delta,
-                       std::vector<double>* edge_delta) {
-  const vid_t n = g.num_vertices();
-  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), -1);
-  std::vector<double> sigma(static_cast<std::size_t>(n), 0);
-  delta.assign(static_cast<std::size_t>(n), 0);
-  if (edge_delta)
-    edge_delta->assign(static_cast<std::size_t>(g.num_edges()), 0);
-
-  std::vector<vid_t> order;
-  order.reserve(static_cast<std::size_t>(n));
-  dist[static_cast<std::size_t>(s)] = 0;
-  sigma[static_cast<std::size_t>(s)] = 1;
-  order.push_back(s);
-  for (std::size_t head = 0; head < order.size(); ++head) {
-    const vid_t u = order[head];
-    const std::int64_t du = dist[static_cast<std::size_t>(u)];
-    for (vid_t v : g.neighbors(u)) {
-      if (dist[static_cast<std::size_t>(v)] < 0) {
-        dist[static_cast<std::size_t>(v)] = du + 1;
-        order.push_back(v);
-      }
-      if (dist[static_cast<std::size_t>(v)] == du + 1)
-        sigma[static_cast<std::size_t>(v)] += sigma[static_cast<std::size_t>(u)];
-    }
-  }
-  for (std::size_t i = order.size(); i-- > 0;) {
-    const vid_t w = order[i];
-    const std::int64_t dw = dist[static_cast<std::size_t>(w)];
-    const auto nb = g.neighbors(w);
-    const auto ids = g.edge_ids(w);
-    for (std::size_t j = 0; j < nb.size(); ++j) {
-      const vid_t v = nb[j];
-      if (dist[static_cast<std::size_t>(v)] != dw + 1) continue;
-      const double c = sigma[static_cast<std::size_t>(w)] /
-                       sigma[static_cast<std::size_t>(v)] *
-                       (1.0 + delta[static_cast<std::size_t>(v)]);
-      delta[static_cast<std::size_t>(w)] += c;
-      if (edge_delta)
-        (*edge_delta)[static_cast<std::size_t>(ids[j])] += c;
-    }
-  }
-}
-
-template <typename DependencyOf>
+/// Adaptive-sampling loop (Bader et al.): sample sources without replacement,
+/// accumulate the target's dependency per sample, stop once the running sum
+/// clears the cutoff.  `sample_dependency(scratch, edge_sink, s)` reads the
+/// traversal result the engine left in the pooled scratch — which is reused
+/// across samples, so one estimate allocates O(n) once, not per sample.
+template <typename SampleDependency>
 AdaptiveBCEstimate adaptive_estimate(const CSRGraph& g,
                                      const AdaptiveBCParams& p,
-                                     bool want_edges,
-                                     DependencyOf&& dependency_of) {
+                                     eid_t edge_target,
+                                     SampleDependency&& sample_dependency) {
   const vid_t n = g.num_vertices();
   const double cutoff = p.cutoff_factor * static_cast<double>(n);
   const auto max_samples = std::max<vid_t>(
@@ -74,8 +33,9 @@ AdaptiveBCEstimate adaptive_estimate(const CSRGraph& g,
 
   AdaptiveBCEstimate out;
   double acc = 0;
-  std::vector<double> delta;
-  std::vector<double> edge_delta;
+  brandes::SourceScratch sc;
+  brandes::SingleEdgeSink sink;
+  sink.target = edge_target;
   for (vid_t k = 0; k < max_samples; ++k) {
     const auto pick =
         k + static_cast<vid_t>(rng.next_bounded(
@@ -83,8 +43,10 @@ AdaptiveBCEstimate adaptive_estimate(const CSRGraph& g,
     std::swap(pool[static_cast<std::size_t>(k)],
               pool[static_cast<std::size_t>(pick)]);
     const vid_t s = pool[static_cast<std::size_t>(k)];
-    dependencies_from(g, s, delta, want_edges ? &edge_delta : nullptr);
-    acc += dependency_of(delta, edge_delta, s);
+    sink.sum = 0;
+    brandes::run_source<brandes::BetweennessPolicy, /*kMasked=*/false>(
+        g, s, nullptr, sc, sink);
+    acc += sample_dependency(sc, sink, s);
     ++out.samples_used;
     if (acc > cutoff && out.samples_used < n) {
       out.converged = true;
@@ -104,19 +66,19 @@ AdaptiveBCEstimate adaptive_estimate(const CSRGraph& g,
 AdaptiveBCEstimate adaptive_betweenness_vertex(const CSRGraph& g, vid_t v,
                                                const AdaptiveBCParams& p) {
   return adaptive_estimate(
-      g, p, /*want_edges=*/false,
-      [v](const std::vector<double>& delta, const std::vector<double>&,
+      g, p, kInvalidEid,
+      [v](const brandes::SourceScratch& sc, const brandes::SingleEdgeSink&,
           vid_t s) {
-        return s == v ? 0.0 : delta[static_cast<std::size_t>(v)];
+        return s == v ? 0.0 : sc.delta()[static_cast<std::size_t>(v)];
       });
 }
 
 AdaptiveBCEstimate adaptive_betweenness_edge(const CSRGraph& g, eid_t e,
                                              const AdaptiveBCParams& p) {
   return adaptive_estimate(
-      g, p, /*want_edges=*/true,
-      [e](const std::vector<double>&, const std::vector<double>& edge_delta,
-          vid_t) { return edge_delta[static_cast<std::size_t>(e)]; });
+      g, p, e,
+      [](const brandes::SourceScratch&, const brandes::SingleEdgeSink& sink,
+         vid_t) { return sink.sum; });
 }
 
 }  // namespace snap

@@ -1,321 +1,86 @@
 #include "snap/centrality/betweenness.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <limits>
-#include <queue>
 #include <utility>
 
-#include "snap/kernels/frontier.hpp"
+#include "snap/centrality/brandes_core.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap {
 
 namespace {
 
-/// Scratch space for one Brandes traversal — reused across sources so the
-/// coarse-grained scheme allocates O(m+n) once per thread, matching the
-/// paper's stated memory model.
-struct BrandesScratch {
-  std::vector<std::int64_t> dist;
-  std::vector<double> sigma;
-  std::vector<double> delta;
-  std::vector<vid_t> order;
-
-  explicit BrandesScratch(vid_t n)
-      : dist(static_cast<std::size_t>(n), -1),
-        sigma(static_cast<std::size_t>(n), 0),
-        delta(static_cast<std::size_t>(n), 0),
-        order() {
-    order.reserve(static_cast<std::size_t>(n));
-  }
-
-  void reset_touched() {
-    for (vid_t v : order) {
-      dist[static_cast<std::size_t>(v)] = -1;
-      sigma[static_cast<std::size_t>(v)] = 0;
-      delta[static_cast<std::size_t>(v)] = 0;
-    }
-    order.clear();
-  }
-};
-
-/// One Brandes source traversal (unweighted): BFS forward pass counting
-/// shortest paths, then reverse dependency accumulation.  Predecessors are
-/// implicit (dist[v] == dist[w] - 1), which avoids materializing predecessor
-/// sets — SNAP's small-world optimization for skewed degrees (§3).
-/// `vertex_acc` may be null (edge-only mode).
-void brandes_from(const CSRGraph& g, vid_t s,
-                  const std::vector<std::uint8_t>& edge_alive,
-                  BrandesScratch& sc, double* vertex_acc, double* edge_acc) {
-  const bool masked = !edge_alive.empty();
-  sc.reset_touched();
-  sc.dist[static_cast<std::size_t>(s)] = 0;
-  sc.sigma[static_cast<std::size_t>(s)] = 1;
-  sc.order.push_back(s);
-  // sc.order doubles as the BFS queue (it is visit-ordered).
-  for (std::size_t head = 0; head < sc.order.size(); ++head) {
-    const vid_t u = sc.order[head];
-    const std::int64_t du = sc.dist[static_cast<std::size_t>(u)];
-    const auto nb = g.neighbors(u);
-    const auto ids = g.edge_ids(u);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      if (masked && !edge_alive[static_cast<std::size_t>(ids[i])]) continue;
-      const vid_t v = nb[i];
-      if (sc.dist[static_cast<std::size_t>(v)] < 0) {
-        sc.dist[static_cast<std::size_t>(v)] = du + 1;
-        sc.order.push_back(v);
-      }
-      if (sc.dist[static_cast<std::size_t>(v)] == du + 1)
-        sc.sigma[static_cast<std::size_t>(v)] +=
-            sc.sigma[static_cast<std::size_t>(u)];
-    }
-  }
-  // Reverse pass in successor form: visiting vertices in reverse BFS order,
-  // every shortest-path successor v of w (dist[v] == dist[w] + 1) already has
-  // its final dependency, so
-  //   delta(w) = Σ_v sigma(w)/sigma(v) * (1 + delta(v)).
-  // This formulation needs only out-adjacency, so it is correct for directed
-  // graphs as well.
-  for (std::size_t i = sc.order.size(); i-- > 0;) {
-    const vid_t w = sc.order[i];
-    const std::int64_t dw = sc.dist[static_cast<std::size_t>(w)];
-    const double sw = sc.sigma[static_cast<std::size_t>(w)];
-    const auto nb = g.neighbors(w);
-    const auto ids = g.edge_ids(w);
-    for (std::size_t j = 0; j < nb.size(); ++j) {
-      if (masked && !edge_alive[static_cast<std::size_t>(ids[j])]) continue;
-      const vid_t v = nb[j];
-      if (sc.dist[static_cast<std::size_t>(v)] != dw + 1) continue;
-      const double c = sw / sc.sigma[static_cast<std::size_t>(v)] *
-                       (1.0 + sc.delta[static_cast<std::size_t>(v)]);
-      sc.delta[static_cast<std::size_t>(w)] += c;
-      if (edge_acc) edge_acc[static_cast<std::size_t>(ids[j])] += c;
-    }
-    if (vertex_acc && w != s)
-      vertex_acc[static_cast<std::size_t>(w)] +=
-          sc.delta[static_cast<std::size_t>(w)];
-  }
-}
-
-/// Run Brandes from every vertex in `sources`, coarse-grained: sources are
-/// distributed over threads, each thread owns private accumulators which are
-/// reduced at the end — the O(p(m+n))-memory scheme of §3.
-BetweennessScores accumulate_coarse(const CSRGraph& g,
-                                    const std::vector<std::uint8_t>& edge_alive,
-                                    const std::vector<vid_t>& sources,
-                                    bool want_vertex, bool want_edge) {
+/// Run the engine from every vertex in `sources`, coarse-grained: sources
+/// are handed out in chunks of brandes::kSourceChunk, each thread owns
+/// private accumulators (the O(p(m+n))-memory scheme of §3), and the
+/// per-thread partials are folded by the deterministic parallel blocked
+/// reduction in brandes_core (ascending thread order per element).
+template <bool kMasked, bool kWantVertex, bool kWantEdge, bool kWeighted>
+BetweennessScores accumulate_coarse_impl(
+    const CSRGraph& g, const std::vector<std::uint8_t>& edge_alive,
+    const std::vector<vid_t>& sources) {
   const vid_t n = g.num_vertices();
   const eid_t m = g.num_edges();
   const int nt = parallel::num_threads();
 
   std::vector<std::vector<double>> vloc(
-      static_cast<std::size_t>(want_vertex ? nt : 0));
+      static_cast<std::size_t>(kWantVertex ? nt : 0));
   std::vector<std::vector<double>> eloc(
-      static_cast<std::size_t>(want_edge ? nt : 0));
+      static_cast<std::size_t>(kWantEdge ? nt : 0));
 
   const auto num_sources = static_cast<std::int64_t>(sources.size());
   std::atomic<std::int64_t> cursor{0};
   parallel::run_team(nt, [&](int ti) {
     const auto t = static_cast<std::size_t>(ti);
-    BrandesScratch sc(n);
-    if (want_vertex) vloc[t].assign(static_cast<std::size_t>(n), 0.0);
-    if (want_edge) eloc[t].assign(static_cast<std::size_t>(m), 0.0);
-    double* va = want_vertex ? vloc[t].data() : nullptr;
-    double* ea = want_edge ? eloc[t].data() : nullptr;
-    for (std::int64_t i;
-         (i = cursor.fetch_add(1, std::memory_order_relaxed)) < num_sources;) {
-      brandes_from(g, sources[static_cast<std::size_t>(i)], edge_alive, sc, va,
-                   ea);
+    brandes::SourceScratch sc;
+    brandes::ArraySink<kWantVertex, kWantEdge> sink;
+    if constexpr (kWantVertex) {
+      vloc[t].assign(static_cast<std::size_t>(n), 0.0);
+      sink.vertex = vloc[t].data();
     }
+    if constexpr (kWantEdge) {
+      eloc[t].assign(static_cast<std::size_t>(m), 0.0);
+      sink.edge = eloc[t].data();
+    }
+    brandes::thread_source_loop(
+        ti, nt, num_sources, brandes::SourceSchedule::kDynamicChunked, cursor,
+        [&](std::int64_t i) {
+          const vid_t s = sources[static_cast<std::size_t>(i)];
+          if constexpr (kWeighted) {
+            brandes::run_source_weighted<brandes::BetweennessPolicy, kMasked>(
+                g, s, edge_alive.data(), sc, sink);
+          } else {
+            brandes::run_source<brandes::BetweennessPolicy, kMasked>(
+                g, s, edge_alive.data(), sc, sink);
+          }
+        });
   });
 
   BetweennessScores out;
   const double half = g.directed() ? 1.0 : 0.5;  // undirected pairs counted twice
-  if (want_vertex) {
-    out.vertex.assign(static_cast<std::size_t>(n), 0.0);
-    for (const auto& acc : vloc)
-      for (vid_t v = 0; v < n; ++v)
-        out.vertex[static_cast<std::size_t>(v)] +=
-            acc[static_cast<std::size_t>(v)];
-    for (auto& x : out.vertex) x *= half;
+  if constexpr (kWantVertex) {
+    out.vertex.resize(static_cast<std::size_t>(n));
+    brandes::reduce_partials(vloc, static_cast<std::size_t>(n), half,
+                             out.vertex.data());
   }
-  if (want_edge) {
-    out.edge.assign(static_cast<std::size_t>(m), 0.0);
-    for (const auto& acc : eloc)
-      for (eid_t e = 0; e < m; ++e)
-        out.edge[static_cast<std::size_t>(e)] += acc[static_cast<std::size_t>(e)];
-    for (auto& x : out.edge) x *= half;
+  if constexpr (kWantEdge) {
+    out.edge.resize(static_cast<std::size_t>(m));
+    brandes::reduce_partials(eloc, static_cast<std::size_t>(m), half,
+                             out.edge.data());
   }
   return out;
 }
 
-/// Fine-grained Brandes: one traversal at a time, parallelism *within* the
-/// level-synchronous BFS and the level-by-level dependency accumulation.
-/// Uses a single shared O(m+n) state with atomics (§3's low-memory mode).
-BetweennessScores accumulate_fine(const CSRGraph& g) {
-  const vid_t n = g.num_vertices();
-  const eid_t m = g.num_edges();
-  std::vector<std::atomic<std::int64_t>> dist(static_cast<std::size_t>(n));
-  std::vector<std::atomic<double>> sigma(static_cast<std::size_t>(n));
-  std::vector<std::atomic<double>> delta(static_cast<std::size_t>(n));
-  std::vector<double> vacc(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> eacc(static_cast<std::size_t>(m), 0.0);
-
-  std::vector<std::vector<vid_t>> levels;
-  FrontierPool pool;          // shared across sources: per-level buffers
-  std::vector<vid_t> next;    // reused level output
-  for (vid_t s = 0; s < n; ++s) {
-    parallel::parallel_for(n, [&](vid_t v) {
-      dist[static_cast<std::size_t>(v)].store(-1, std::memory_order_relaxed);
-      sigma[static_cast<std::size_t>(v)].store(0, std::memory_order_relaxed);
-      delta[static_cast<std::size_t>(v)].store(0, std::memory_order_relaxed);
-    });
-    dist[static_cast<std::size_t>(s)].store(0);
-    sigma[static_cast<std::size_t>(s)].store(1);
-    levels.clear();
-    levels.push_back({s});
-
-    // Forward: level-synchronous path counting on the shared frontier
-    // substrate — arcs of the level are split evenly across threads, so a
-    // hub in the frontier cannot serialize the expansion.
-    while (!levels.back().empty()) {
-      const auto& cur = levels.back();
-      const std::int64_t d = static_cast<std::int64_t>(levels.size()) - 1;
-      expand_arc_balanced(
-          g, cur, next, pool, [&](vid_t u, vid_t v) {
-            const double su = sigma[static_cast<std::size_t>(u)].load(
-                std::memory_order_relaxed);
-            std::int64_t expected = -1;
-            const bool newly =
-                dist[static_cast<std::size_t>(v)].compare_exchange_strong(
-                    expected, d + 1, std::memory_order_relaxed);
-            if (dist[static_cast<std::size_t>(v)].load(
-                    std::memory_order_relaxed) == d + 1) {
-              // reduction: path-count accumulation; addition order varies
-              // with scheduling, so sigma is not bitwise reproducible.
-              parallel::atomic_add(sigma[static_cast<std::size_t>(v)], su);
-            }
-            return newly;
-          });
-      levels.push_back(next);
-    }
-
-    // Backward: accumulate dependencies level by level (deepest first) in
-    // successor form — each w reads only deeper (already-final) deltas and
-    // writes only its own slots, so the level sweep needs no atomics.
-    for (std::size_t li = levels.size(); li-- > 0;) {
-      const auto& lvl = levels[li];
-      parallel::parallel_for_dynamic(
-          static_cast<std::int64_t>(lvl.size()),
-          [&](std::int64_t i) {
-        const vid_t w = lvl[static_cast<std::size_t>(i)];
-        const std::int64_t dw =
-            dist[static_cast<std::size_t>(w)].load(std::memory_order_relaxed);
-        const double sw =
-            sigma[static_cast<std::size_t>(w)].load(std::memory_order_relaxed);
-        const auto nb = g.neighbors(w);
-        const auto ids = g.edge_ids(w);
-        double dsum = 0;
-        for (std::size_t j = 0; j < nb.size(); ++j) {
-          const vid_t v = nb[j];
-          if (dist[static_cast<std::size_t>(v)].load(
-                  std::memory_order_relaxed) != dw + 1)
-            continue;
-          const double c =
-              sw /
-              sigma[static_cast<std::size_t>(v)].load(
-                  std::memory_order_relaxed) *
-              (1.0 + delta[static_cast<std::size_t>(v)].load(
-                         std::memory_order_relaxed));
-          dsum += c;
-          eacc[static_cast<std::size_t>(ids[j])] += c;
-        }
-        delta[static_cast<std::size_t>(w)].store(dsum,
-                                                 std::memory_order_relaxed);
-        if (w != s) vacc[static_cast<std::size_t>(w)] += dsum;
-      },
-          /*chunk=*/64);
-    }
+template <bool kWantVertex, bool kWantEdge, bool kWeighted = false>
+BetweennessScores accumulate_coarse(const CSRGraph& g,
+                                    const std::vector<std::uint8_t>& edge_alive,
+                                    const std::vector<vid_t>& sources) {
+  if (edge_alive.empty()) {
+    return accumulate_coarse_impl</*kMasked=*/false, kWantVertex, kWantEdge,
+                                  kWeighted>(g, edge_alive, sources);
   }
-
-  BetweennessScores out;
-  const double half = g.directed() ? 1.0 : 0.5;
-  out.vertex = std::move(vacc);
-  out.edge = std::move(eacc);
-  for (auto& x : out.vertex) x *= half;
-  for (auto& x : out.edge) x *= half;
-  return out;
-}
-
-/// Weighted Brandes from one source: Dijkstra forward phase producing a
-/// settle order (a topological order of the shortest-path DAG), then the
-/// same successor-form dependency accumulation with a weighted-tightness
-/// test (dist[v] == dist[w] + w(w,v)).
-void brandes_weighted_from(const CSRGraph& g, vid_t s,
-                           std::vector<weight_t>& dist,
-                           std::vector<double>& sigma,
-                           std::vector<double>& delta,
-                           std::vector<vid_t>& order, double* vertex_acc,
-                           double* edge_acc) {
-  constexpr weight_t kInf = std::numeric_limits<weight_t>::infinity();
-  for (vid_t v : order) {
-    dist[static_cast<std::size_t>(v)] = kInf;
-    sigma[static_cast<std::size_t>(v)] = 0;
-    delta[static_cast<std::size_t>(v)] = 0;
-  }
-  order.clear();
-
-  using Item = std::pair<weight_t, vid_t>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  dist[static_cast<std::size_t>(s)] = 0;
-  sigma[static_cast<std::size_t>(s)] = 1;
-  pq.push({0, s});
-  std::vector<std::uint8_t> settled_flag;  // lazily sized below
-  settled_flag.assign(dist.size(), 0);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (settled_flag[static_cast<std::size_t>(u)]) continue;
-    settled_flag[static_cast<std::size_t>(u)] = 1;
-    order.push_back(u);
-    const auto nb = g.neighbors(u);
-    const auto ws = g.weights(u);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      const vid_t v = nb[i];
-      const weight_t nd = d + ws[i];
-      if (nd < dist[static_cast<std::size_t>(v)]) {
-        dist[static_cast<std::size_t>(v)] = nd;
-        sigma[static_cast<std::size_t>(v)] =
-            sigma[static_cast<std::size_t>(u)];
-        pq.push({nd, v});
-      } else if (nd == dist[static_cast<std::size_t>(v)] &&
-                 !settled_flag[static_cast<std::size_t>(v)]) {
-        sigma[static_cast<std::size_t>(v)] +=
-            sigma[static_cast<std::size_t>(u)];
-      }
-    }
-  }
-  // Reverse settle order = reverse topological order of the SP DAG.
-  for (std::size_t i = order.size(); i-- > 0;) {
-    const vid_t w = order[i];
-    const weight_t dw = dist[static_cast<std::size_t>(w)];
-    const double sw = sigma[static_cast<std::size_t>(w)];
-    const auto nb = g.neighbors(w);
-    const auto ws = g.weights(w);
-    const auto ids = g.edge_ids(w);
-    for (std::size_t j = 0; j < nb.size(); ++j) {
-      const vid_t v = nb[j];
-      if (dist[static_cast<std::size_t>(v)] != dw + ws[j]) continue;
-      const double c = sw / sigma[static_cast<std::size_t>(v)] *
-                       (1.0 + delta[static_cast<std::size_t>(v)]);
-      delta[static_cast<std::size_t>(w)] += c;
-      if (edge_acc) edge_acc[static_cast<std::size_t>(ids[j])] += c;
-    }
-    if (vertex_acc && w != s)
-      vertex_acc[static_cast<std::size_t>(w)] +=
-          delta[static_cast<std::size_t>(w)];
-  }
+  return accumulate_coarse_impl</*kMasked=*/true, kWantVertex, kWantEdge,
+                                kWeighted>(g, edge_alive, sources);
 }
 
 std::vector<vid_t> all_vertices(vid_t n) {
@@ -328,65 +93,35 @@ std::vector<vid_t> all_vertices(vid_t n) {
 
 BetweennessScores betweenness_centrality(const CSRGraph& g,
                                          BCGranularity gran) {
-  if (gran == BCGranularity::kFine) return accumulate_fine(g);
-  return accumulate_coarse(g, {}, all_vertices(g.num_vertices()),
-                           /*want_vertex=*/true, /*want_edge=*/true);
+  if (gran == BCGranularity::kFine) {
+    BetweennessScores out;
+    brandes::fine_grained_accumulate(g, out.vertex, out.edge);
+    const double half = g.directed() ? 1.0 : 0.5;
+    for (auto& x : out.vertex) x *= half;
+    for (auto& x : out.edge) x *= half;
+    return out;
+  }
+  return accumulate_coarse</*v=*/true, /*e=*/true>(
+      g, {}, all_vertices(g.num_vertices()));
 }
 
 std::vector<double> edge_betweenness_masked(
     const CSRGraph& g, const std::vector<std::uint8_t>& edge_alive) {
-  return accumulate_coarse(g, edge_alive, all_vertices(g.num_vertices()),
-                           /*want_vertex=*/false, /*want_edge=*/true)
+  return accumulate_coarse</*v=*/false, /*e=*/true>(
+             g, edge_alive, all_vertices(g.num_vertices()))
       .edge;
 }
 
 BetweennessScores weighted_betweenness_centrality(const CSRGraph& g) {
   if (!g.weighted()) return betweenness_centrality(g);
-  const vid_t n = g.num_vertices();
-  const eid_t m = g.num_edges();
-  const int nt = parallel::num_threads();
-  std::vector<std::vector<double>> vloc(static_cast<std::size_t>(nt));
-  std::vector<std::vector<double>> eloc(static_cast<std::size_t>(nt));
-
-  std::atomic<vid_t> cursor{0};
-  parallel::run_team(nt, [&](int ti) {
-    const auto t = static_cast<std::size_t>(ti);
-    vloc[t].assign(static_cast<std::size_t>(n), 0.0);
-    eloc[t].assign(static_cast<std::size_t>(m), 0.0);
-    std::vector<weight_t> dist(static_cast<std::size_t>(n),
-                               std::numeric_limits<weight_t>::infinity());
-    std::vector<double> sigma(static_cast<std::size_t>(n), 0);
-    std::vector<double> delta(static_cast<std::size_t>(n), 0);
-    std::vector<vid_t> order;
-    order.reserve(static_cast<std::size_t>(n));
-    for (vid_t s; (s = cursor.fetch_add(1, std::memory_order_relaxed)) < n;) {
-      brandes_weighted_from(g, s, dist, sigma, delta, order, vloc[t].data(),
-                            eloc[t].data());
-    }
-  });
-
-  BetweennessScores out;
-  out.vertex.assign(static_cast<std::size_t>(n), 0.0);
-  out.edge.assign(static_cast<std::size_t>(m), 0.0);
-  for (int t = 0; t < nt; ++t) {
-    for (vid_t v = 0; v < n; ++v)
-      out.vertex[static_cast<std::size_t>(v)] +=
-          vloc[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)];
-    for (eid_t e = 0; e < m; ++e)
-      out.edge[static_cast<std::size_t>(e)] +=
-          eloc[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)];
-  }
-  const double half = g.directed() ? 1.0 : 0.5;
-  for (auto& x : out.vertex) x *= half;
-  for (auto& x : out.edge) x *= half;
-  return out;
+  return accumulate_coarse</*v=*/true, /*e=*/true, /*kWeighted=*/true>(
+      g, {}, all_vertices(g.num_vertices()));
 }
 
 std::vector<double> approx_vertex_betweenness(
     const CSRGraph& g, const std::vector<vid_t>& sources) {
-  auto scores = accumulate_coarse(g, {}, sources,
-                                  /*want_vertex=*/true, /*want_edge=*/false)
-                    .vertex;
+  auto scores =
+      accumulate_coarse</*v=*/true, /*e=*/false>(g, {}, sources).vertex;
   if (!sources.empty()) {
     const double scale = static_cast<double>(g.num_vertices()) /
                          static_cast<double>(sources.size());
@@ -398,9 +133,8 @@ std::vector<double> approx_vertex_betweenness(
 std::vector<double> approx_edge_betweenness(
     const CSRGraph& g, const std::vector<std::uint8_t>& edge_alive,
     const std::vector<vid_t>& sources) {
-  auto scores = accumulate_coarse(g, edge_alive, sources,
-                                  /*want_vertex=*/false, /*want_edge=*/true)
-                    .edge;
+  auto scores =
+      accumulate_coarse</*v=*/false, /*e=*/true>(g, edge_alive, sources).edge;
   if (!sources.empty()) {
     const double scale = static_cast<double>(g.num_vertices()) /
                          static_cast<double>(sources.size());

@@ -1,76 +1,39 @@
 #include "snap/centrality/stress.hpp"
 
+#include <atomic>
 #include <cstdint>
 
+#include "snap/centrality/brandes_core.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap {
 
+// Stress centrality = Brandes with the StressPolicy recurrence
+// δ(w) = Σ_succ (1 + δ(v)), vertex contribution σ(w)·δ(w): the *count* of
+// shortest paths through w rather than the fraction [Brandes 2008, variants].
 std::vector<double> stress_centrality(const CSRGraph& g) {
   const vid_t n = g.num_vertices();
   const int nt = parallel::num_threads();
   std::vector<std::vector<double>> local(static_cast<std::size_t>(nt));
 
-  std::atomic<vid_t> cursor{0};
+  std::atomic<std::int64_t> cursor{0};
   parallel::run_team(nt, [&](int t) {
     auto& acc = local[static_cast<std::size_t>(t)];
     acc.assign(static_cast<std::size_t>(n), 0.0);
-    std::vector<std::int64_t> dist(static_cast<std::size_t>(n), -1);
-    std::vector<double> sigma(static_cast<std::size_t>(n), 0);
-    std::vector<double> delta(static_cast<std::size_t>(n), 0);
-    std::vector<vid_t> order;
-    order.reserve(static_cast<std::size_t>(n));
-
-    for (vid_t s; (s = cursor.fetch_add(1, std::memory_order_relaxed)) < n;) {
-      for (vid_t v : order) {
-        dist[static_cast<std::size_t>(v)] = -1;
-        sigma[static_cast<std::size_t>(v)] = 0;
-        delta[static_cast<std::size_t>(v)] = 0;
-      }
-      order.clear();
-      dist[static_cast<std::size_t>(s)] = 0;
-      sigma[static_cast<std::size_t>(s)] = 1;
-      order.push_back(s);
-      for (std::size_t head = 0; head < order.size(); ++head) {
-        const vid_t u = order[head];
-        const std::int64_t du = dist[static_cast<std::size_t>(u)];
-        for (vid_t v : g.neighbors(u)) {
-          if (dist[static_cast<std::size_t>(v)] < 0) {
-            dist[static_cast<std::size_t>(v)] = du + 1;
-            order.push_back(v);
-          }
-          if (dist[static_cast<std::size_t>(v)] == du + 1)
-            sigma[static_cast<std::size_t>(v)] +=
-                sigma[static_cast<std::size_t>(u)];
-        }
-      }
-      // Stress recurrence (successor form): the count of shortest s-*
-      // paths through w is  σ(w) · Σ_succ (1 + δ(v))/  ... more precisely
-      //   δ(w) = Σ_{v : succ} (σ(w)/σ(v)) · ... —
-      // for stress the dependency is  δ(w) = Σ_succ (1 + δ(v)) with the
-      // final contribution σ(w) · δ(w)  [Brandes 2008, variants].
-      for (std::size_t i = order.size(); i-- > 0;) {
-        const vid_t w = order[i];
-        const std::int64_t dw = dist[static_cast<std::size_t>(w)];
-        double dsum = 0;
-        for (vid_t v : g.neighbors(w)) {
-          if (dist[static_cast<std::size_t>(v)] != dw + 1) continue;
-          dsum += 1.0 + delta[static_cast<std::size_t>(v)];
-        }
-        delta[static_cast<std::size_t>(w)] = dsum;
-        if (w != s)
-          acc[static_cast<std::size_t>(w)] +=
-              sigma[static_cast<std::size_t>(w)] * dsum;
-      }
-    }
+    brandes::SourceScratch sc;
+    brandes::ArraySink</*v=*/true, /*e=*/false> sink{acc.data(), nullptr};
+    brandes::thread_source_loop(
+        t, nt, n, brandes::SourceSchedule::kDynamicChunked, cursor,
+        [&](std::int64_t s) {
+          brandes::run_source<brandes::StressPolicy, /*kMasked=*/false>(
+              g, static_cast<vid_t>(s), nullptr, sc, sink);
+        });
   });
 
-  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
-  for (const auto& acc : local)
-    for (vid_t v = 0; v < n; ++v)
-      out[static_cast<std::size_t>(v)] += acc[static_cast<std::size_t>(v)];
+  std::vector<double> out(static_cast<std::size_t>(n));
   const double half = g.directed() ? 1.0 : 0.5;
-  for (auto& x : out) x *= half;
+  brandes::reduce_partials(local, static_cast<std::size_t>(n), half,
+                           out.data());
   return out;
 }
 

@@ -2,11 +2,13 @@
 
 // Internal helpers shared by the divisive community algorithms (GN, pBD).
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "snap/graph/csr_graph.hpp"
 #include "snap/kernels/bfs.hpp"
+#include "snap/kernels/connected_components.hpp"
 
 namespace snap::detail {
 
@@ -30,5 +32,69 @@ inline std::vector<vid_t> split_after_deletion(
   }
   return side;
 }
+
+/// Connected-component bookkeeping for the divisive loop: membership labels
+/// plus the vertex list of every label (kept in ascending vertex order — the
+/// canonical source order the deterministic component scoring relies on).
+/// Labels are never reused; emptied labels keep an empty list.
+class ComponentTracker {
+ public:
+  ComponentTracker(const CSRGraph& g, const Components& comps)
+      : membership_(comps.label), next_label_(comps.count) {
+    comp_vertices_.resize(static_cast<std::size_t>(comps.count));
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      comp_vertices_[static_cast<std::size_t>(
+          membership_[static_cast<std::size_t>(v)])]
+          .push_back(v);
+  }
+
+  /// Which labels a deletion dirtied.  `second` is kInvalidVid when the
+  /// component did not split.
+  struct Effect {
+    vid_t first;
+    vid_t second;
+    [[nodiscard]] bool split() const { return second != kInvalidVid; }
+  };
+
+  /// Record the deletion of edge (u, v): detect a split via masked BFS and,
+  /// if it happened, partition the old label's vertex list (both halves stay
+  /// ascending — `side` is produced in ascending order and the remainder is
+  /// filtered in order).
+  Effect apply_deletion(const CSRGraph& g,
+                        const std::vector<std::uint8_t>& edge_alive, vid_t u,
+                        vid_t v) {
+    const vid_t old_label = membership_[static_cast<std::size_t>(u)];
+    const auto side =
+        split_after_deletion(g, edge_alive, membership_, u, v, next_label_);
+    if (side.empty()) return {old_label, kInvalidVid};
+    auto& old_list = comp_vertices_[static_cast<std::size_t>(old_label)];
+    std::vector<vid_t> remain;
+    remain.reserve(old_list.size() - side.size());
+    for (vid_t w : old_list)
+      if (membership_[static_cast<std::size_t>(w)] == old_label)
+        remain.push_back(w);
+    old_list.swap(remain);
+    comp_vertices_.push_back(side);
+    return {old_label, next_label_++};
+  }
+
+  [[nodiscard]] const std::vector<vid_t>& membership() const {
+    return membership_;
+  }
+  [[nodiscard]] const std::vector<vid_t>& vertices_of(vid_t label) const {
+    return comp_vertices_[static_cast<std::size_t>(label)];
+  }
+  [[nodiscard]] vid_t num_labels() const { return next_label_; }
+  [[nodiscard]] vid_t max_component_size() const {
+    std::size_t mx = 0;
+    for (const auto& cv : comp_vertices_) mx = std::max(mx, cv.size());
+    return static_cast<vid_t>(mx);
+  }
+
+ private:
+  std::vector<vid_t> membership_;
+  std::vector<std::vector<vid_t>> comp_vertices_;
+  vid_t next_label_;
+};
 
 }  // namespace snap::detail

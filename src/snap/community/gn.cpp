@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "snap/centrality/betweenness.hpp"
+#include "snap/centrality/brandes_core.hpp"
 #include "snap/community/divisive_util.hpp"
 #include "snap/community/modularity.hpp"
 #include "snap/debug/validate.hpp"
@@ -11,7 +12,14 @@
 
 namespace snap {
 
-CommunityResult girvan_newman(const CSRGraph& g, const DivisiveParams& params) {
+namespace {
+
+/// Exact GN for directed graphs: the component-restriction argument below
+/// assumes undirected reachability (membership tracking splits on undirected
+/// connectivity), so directed inputs keep the straightforward
+/// full-recompute-per-round flavor.
+CommunityResult girvan_newman_directed(const CSRGraph& g,
+                                       const DivisiveParams& params) {
   WallTimer timer;
   const eid_t m = g.num_edges();
   const eid_t max_iter = params.max_iterations > 0 ? params.max_iterations : m;
@@ -27,9 +35,81 @@ CommunityResult girvan_newman(const CSRGraph& g, const DivisiveParams& params) {
 
   eid_t since_best = 0;
   for (eid_t it = 0; it < max_iter; ++it) {
-    // Step 4 (exact flavor): recompute edge betweenness on the surviving
-    // graph and find the top edge.
     const std::vector<double> scores = edge_betweenness_masked(g, alive);
+    eid_t best = kInvalidEid;
+    double best_score = -1;
+    for (eid_t e = 0; e < m; ++e) {
+      if (alive[static_cast<std::size_t>(e)] &&
+          scores[static_cast<std::size_t>(e)] > best_score) {
+        best_score = scores[static_cast<std::size_t>(e)];
+        best = e;
+      }
+    }
+    if (best == kInvalidEid) break;
+
+    alive[static_cast<std::size_t>(best)] = 0;
+    const Edge ed = g.edge(best);
+    const auto side = detail::split_after_deletion(g, alive, membership, ed.u,
+                                                   ed.v, next_label);
+    if (!side.empty()) {
+      ++next_label;
+      ++num_clusters;
+    }
+    const double q = modularity(g, membership);
+    const double prev_best = r.divisive_trace.best_modularity();
+    r.divisive_trace.record(ed.u, ed.v, num_clusters, q);
+    r.divisive_trace.offer_best(q, membership);
+    since_best = q > prev_best ? 0 : since_best + 1;
+    r.iterations = it + 1;
+
+    if (params.target_clusters > 0 && num_clusters >= params.target_clusters)
+      break;
+    if (params.stall_iterations > 0 && since_best >= params.stall_iterations)
+      break;
+  }
+
+  r.clustering = normalize_labels(r.divisive_trace.best_membership());
+  r.modularity = r.divisive_trace.best_modularity();
+  SNAP_VALIDATE(g, r.clustering.membership, r.modularity, 1e-6);
+  r.seconds = timer.elapsed_s();
+  return r;
+}
+
+}  // namespace
+
+CommunityResult girvan_newman(const CSRGraph& g, const DivisiveParams& params) {
+  if (g.directed()) return girvan_newman_directed(g, params);
+  WallTimer timer;
+  const eid_t m = g.num_edges();
+  const eid_t max_iter = params.max_iterations > 0 ? params.max_iterations : m;
+
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(m), 1);
+  detail::ComponentTracker tracker(g, connected_components(g));
+  vid_t num_clusters = tracker.num_labels();
+
+  // Cached edge-betweenness scores, maintained per component.  A BFS from s
+  // only reaches s's component, so deleting an edge inside component C can
+  // change scores only of edges in C — everything outside stays valid.
+  // Scoring uses the deterministic static-blocked engine schedule, so a
+  // component's score is a pure function of (its vertex list, the alive mask
+  // restricted to it, the thread count) and the dirty-only loop below removes
+  // exactly the same edge sequence a full recompute would.
+  std::vector<double> scores(static_cast<std::size_t>(m), 0.0);
+  brandes::ComponentScorer scorer(g);
+  constexpr double kHalf = 0.5;  // undirected pairs counted from both ends
+  for (vid_t c = 0; c < num_clusters; ++c) {
+    const auto& verts = tracker.vertices_of(c);
+    scorer.score(verts, verts, alive, kHalf, scores);
+  }
+
+  CommunityResult r;
+  r.divisive_trace.offer_best(modularity(g, tracker.membership()),
+                              tracker.membership());
+
+  eid_t since_best = 0;
+  for (eid_t it = 0; it < max_iter; ++it) {
+    // Step 4: highest-scoring alive edge (ascending scan, strict '>' — the
+    // first maximum wins, the tie-break every mode of this loop shares).
     eid_t best = kInvalidEid;
     double best_score = -1;
     for (eid_t e = 0; e < m; ++e) {
@@ -41,21 +121,34 @@ CommunityResult girvan_newman(const CSRGraph& g, const DivisiveParams& params) {
     }
     if (best == kInvalidEid) break;  // no edges left
 
-    // Step 5: mark deleted.
+    // Step 5: mark deleted; step 6: incremental components + membership.
     alive[static_cast<std::size_t>(best)] = 0;
     const Edge ed = g.edge(best);
-    // Step 6: incremental connected components + dendrogram update.
-    const auto side = detail::split_after_deletion(g, alive, membership, ed.u,
-                                                   ed.v, next_label);
-    if (!side.empty()) {
-      ++next_label;
-      ++num_clusters;
+    const auto effect = tracker.apply_deletion(g, alive, ed.u, ed.v);
+    if (effect.split()) ++num_clusters;
+
+    // Rescore only what the deletion can have changed — the touched
+    // component (or both halves if it split).  `full_recompute` is the
+    // retained reference mode: rescore every live component instead (same
+    // per-component computation, so the traces must match bitwise).
+    if (params.full_recompute) {
+      for (vid_t c = 0; c < tracker.num_labels(); ++c)
+        scorer.score(tracker.vertices_of(c), tracker.vertices_of(c), alive,
+                     kHalf, scores);
+    } else {
+      const auto& a = tracker.vertices_of(effect.first);
+      scorer.score(a, a, alive, kHalf, scores);
+      if (effect.split()) {
+        const auto& b = tracker.vertices_of(effect.second);
+        scorer.score(b, b, alive, kHalf, scores);
+      }
     }
+
     // Step 7: modularity of the current partitioning (on the full graph).
-    const double q = modularity(g, membership);
+    const double q = modularity(g, tracker.membership());
     const double prev_best = r.divisive_trace.best_modularity();
     r.divisive_trace.record(ed.u, ed.v, num_clusters, q);
-    r.divisive_trace.offer_best(q, membership);
+    r.divisive_trace.offer_best(q, tracker.membership());
     since_best = q > prev_best ? 0 : since_best + 1;
     r.iterations = it + 1;
 

@@ -17,13 +17,22 @@ struct DivisiveParams {
   /// single peak and then decays, so a generous stall budget recovers the
   /// same best clustering as a complete run at a fraction of the cost.
   eid_t stall_iterations = 0;
+
+  /// Reference mode (girvan_newman only; ignored by pbd, which has its own
+  /// `rescore_all`): rescore every live component each round instead of only
+  /// the component the deletion touched.  Both modes run the identical
+  /// per-component deterministic scoring, so the traces match bitwise — the
+  /// differential test relies on this.
+  bool full_recompute = false;
 };
 
 /// Girvan–Newman divisive clustering — the competing baseline of §5.
-/// Each iteration recomputes *exact* edge betweenness over the surviving
-/// edges (all n sources), removes the top edge, and records modularity.
-/// O(m²n)-ish work: intentionally unengineered except for SNAP's coarse
-/// parallel Brandes, to match what pBD is compared against.
+/// Each iteration finds the top exact edge-betweenness edge among the
+/// surviving edges, removes it, and records modularity.  Scores are cached
+/// per connected component and recomputed only for the component the last
+/// deletion touched (a traversal never leaves its source's component, so no
+/// other score can change): a round costs O(n_c(m_c+n_c)) in the affected
+/// component's size rather than O(n(m+n)) in the graph's.
 CommunityResult girvan_newman(const CSRGraph& g,
                               const DivisiveParams& params = {});
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "snap/centrality/brandes_core.hpp"
 #include "snap/community/divisive_util.hpp"
 #include "snap/community/modularity.hpp"
 #include "snap/debug/validate.hpp"
@@ -17,80 +18,14 @@ namespace snap {
 
 namespace {
 
-/// Reusable scratch for one serial masked Brandes traversal.
-struct Scratch {
-  std::vector<std::int64_t> dist;
-  std::vector<double> sigma;
-  std::vector<double> delta;
-  std::vector<vid_t> order;
-
-  explicit Scratch(vid_t n)
-      : dist(static_cast<std::size_t>(n), -1),
-        sigma(static_cast<std::size_t>(n), 0),
-        delta(static_cast<std::size_t>(n), 0) {}
-
-  void reset() {
-    for (vid_t v : order) {
-      dist[static_cast<std::size_t>(v)] = -1;
-      sigma[static_cast<std::size_t>(v)] = 0;
-      delta[static_cast<std::size_t>(v)] = 0;
-    }
-    order.clear();
-  }
-};
-
-/// Serial masked Brandes from `s`, accumulating per-edge dependencies into
-/// `edge_acc` (a full-size, caller-owned array).
-void brandes_masked(const CSRGraph& g, vid_t s,
-                    const std::vector<std::uint8_t>& alive, Scratch& sc,
-                    double* edge_acc) {
-  sc.reset();
-  sc.dist[static_cast<std::size_t>(s)] = 0;
-  sc.sigma[static_cast<std::size_t>(s)] = 1;
-  sc.order.push_back(s);
-  for (std::size_t head = 0; head < sc.order.size(); ++head) {
-    const vid_t u = sc.order[head];
-    const std::int64_t du = sc.dist[static_cast<std::size_t>(u)];
-    const auto nb = g.neighbors(u);
-    const auto ids = g.edge_ids(u);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      if (!alive[static_cast<std::size_t>(ids[i])]) continue;
-      const vid_t v = nb[i];
-      if (sc.dist[static_cast<std::size_t>(v)] < 0) {
-        sc.dist[static_cast<std::size_t>(v)] = du + 1;
-        sc.order.push_back(v);
-      }
-      if (sc.dist[static_cast<std::size_t>(v)] == du + 1)
-        sc.sigma[static_cast<std::size_t>(v)] +=
-            sc.sigma[static_cast<std::size_t>(u)];
-    }
-  }
-  for (std::size_t i = sc.order.size(); i-- > 0;) {
-    const vid_t w = sc.order[i];
-    const std::int64_t dw = sc.dist[static_cast<std::size_t>(w)];
-    const double sw = sc.sigma[static_cast<std::size_t>(w)];
-    const auto nb = g.neighbors(w);
-    const auto ids = g.edge_ids(w);
-    for (std::size_t j = 0; j < nb.size(); ++j) {
-      if (!alive[static_cast<std::size_t>(ids[j])]) continue;
-      const vid_t v = nb[j];
-      if (sc.dist[static_cast<std::size_t>(v)] != dw + 1) continue;
-      const double c = sw / sc.sigma[static_cast<std::size_t>(v)] *
-                       (1.0 + sc.delta[static_cast<std::size_t>(v)]);
-      sc.delta[static_cast<std::size_t>(w)] += c;
-      edge_acc[static_cast<std::size_t>(ids[j])] += c;
-    }
-  }
-}
-
-/// Working state of one pBD run.
+/// Working state of one pBD run.  All Brandes traversals go through the
+/// shared brandes::ComponentScorer — pBD no longer carries a private copy.
 struct PBDState {
   const CSRGraph& g;
   const PBDParams& p;
   std::vector<std::uint8_t> alive;
-  std::vector<vid_t> membership;       // current cluster label per vertex
-  std::vector<std::vector<vid_t>> comp_vertices;  // per label
-  std::vector<double> scores;          // per logical edge
+  std::vector<double> scores;  // per logical edge
+  brandes::ComponentScorer scorer;
   SplitMix64 rng;
 
   PBDState(const CSRGraph& graph, const PBDParams& params)
@@ -98,10 +33,13 @@ struct PBDState {
         p(params),
         alive(static_cast<std::size_t>(graph.num_edges()), 1),
         scores(static_cast<std::size_t>(graph.num_edges()), 0.0),
+        scorer(graph),
         rng(params.seed) {}
 
   /// Pick traversal sources for a component: all vertices when small enough
-  /// for exact scoring, otherwise a uniform sample.
+  /// for exact scoring, otherwise a uniform sample.  Only the sampling
+  /// branch advances the shared RNG, so components at or below
+  /// exact_threshold never perturb the stream.
   std::vector<vid_t> pick_sources(const std::vector<vid_t>& verts) {
     const auto csize = static_cast<vid_t>(verts.size());
     if (csize <= p.exact_threshold) return verts;
@@ -121,77 +59,25 @@ struct PBDState {
     return pool;
   }
 
-  /// Zero the stored scores of the component's alive edges.
-  void zero_component_scores(const std::vector<vid_t>& verts) {
-    for (vid_t u : verts) {
-      const auto ids = g.edge_ids(u);
-      for (eid_t id : ids)
-        if (alive[static_cast<std::size_t>(id)])
-          scores[static_cast<std::size_t>(id)] = 0;
-    }
-  }
-
-  /// Scale accumulated scores of the component's alive edges by `f`
-  /// (visits each undirected edge once via its lower-endpoint arc).
-  void scale_component_scores(const std::vector<vid_t>& verts, double f) {
-    for (vid_t u : verts) {
-      const auto nb = g.neighbors(u);
-      const auto ids = g.edge_ids(u);
-      for (std::size_t i = 0; i < nb.size(); ++i) {
-        if (nb[i] < u) continue;
-        if (alive[static_cast<std::size_t>(ids[i])])
-          scores[static_cast<std::size_t>(ids[i])] *= f;
-      }
-    }
-  }
-
   /// Re-estimate the edge betweenness scores of one component (step 4 of
   /// Algorithm 1, restricted to the component the last deletion touched).
-  /// `serial_inner` forces serial traversals (used when components
-  /// themselves are processed in parallel — the coarse-granularity mode).
-  void score_component(const std::vector<vid_t>& verts, bool serial_inner,
-                       Scratch* reuse = nullptr) {
+  /// `serial_slot >= 0` forces one serial pass on that pooled scorer slot —
+  /// used when dirty components themselves are processed in parallel (the
+  /// coarse-granularity mode); such components are at or below
+  /// exact_threshold, so this path never touches the sampling RNG either.
+  /// The serial/parallel decision inside `score` depends only on the
+  /// component's own size, keeping score(C) a pure function of
+  /// (C, alive|C, thread count) in every mode.
+  void score_component(const std::vector<vid_t>& verts, int serial_slot) {
     if (verts.size() < 2) return;
     const std::vector<vid_t> sources = pick_sources(verts);
     const double scale = 0.5 * static_cast<double>(verts.size()) /
                          static_cast<double>(sources.size());
-    zero_component_scores(verts);
-
-    if (serial_inner || parallel::num_threads() == 1) {
-      Scratch local_sc(reuse ? 0 : g.num_vertices());
-      Scratch& sc = reuse ? *reuse : local_sc;
-      for (vid_t s : sources) brandes_masked(g, s, alive, sc, scores.data());
+    if (serial_slot >= 0) {
+      scorer.score_serial(serial_slot, verts, sources, alive, scale, scores);
     } else {
-      // Fine granularity: sources distributed over threads, per-thread
-      // accumulators reduced into the shared score array.
-      const int nt = parallel::num_threads();
-      std::vector<std::vector<double>> acc(static_cast<std::size_t>(nt));
-      const auto num_sources = static_cast<std::int64_t>(sources.size());
-      std::atomic<std::int64_t> cursor{0};
-      parallel::run_team(nt, [&](int ti) {
-        const auto t = static_cast<std::size_t>(ti);
-        acc[t].assign(static_cast<std::size_t>(g.num_edges()), 0.0);
-        Scratch sc(g.num_vertices());
-        for (std::int64_t i;
-             (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
-             num_sources;) {
-          brandes_masked(g, sources[static_cast<std::size_t>(i)], alive, sc,
-                         acc[t].data());
-        }
-      });
-      for (vid_t u : verts) {
-        const auto nb = g.neighbors(u);
-        const auto ids = g.edge_ids(u);
-        for (std::size_t i = 0; i < nb.size(); ++i) {
-          if (nb[i] < u) continue;
-          const auto id = static_cast<std::size_t>(ids[i]);
-          if (!alive[id]) continue;
-          for (int t = 0; t < nt; ++t)
-            scores[id] += acc[static_cast<std::size_t>(t)][id];
-        }
-      }
+      scorer.score(verts, sources, alive, scale, scores, p.exact_threshold);
     }
-    scale_component_scores(verts, scale);
   }
 
   /// Optional step 1: exact betweenness of every bridge via the bridge
@@ -277,15 +163,8 @@ CommunityResult pbd(const CSRGraph& g, const PBDParams& params) {
       params.stop.max_iterations > 0 ? params.stop.max_iterations : m;
 
   PBDState st(g, params);
-  const Components comps = connected_components(g);
-  st.membership = comps.label;
-  vid_t num_clusters = comps.count;
-  vid_t next_label = num_clusters;
-  st.comp_vertices.resize(static_cast<std::size_t>(num_clusters));
-  for (vid_t v = 0; v < g.num_vertices(); ++v)
-    st.comp_vertices[static_cast<std::size_t>(
-        st.membership[static_cast<std::size_t>(v)])]
-        .push_back(v);
+  detail::ComponentTracker tracker(g, connected_components(g));
+  vid_t num_clusters = tracker.num_labels();
 
   // Step 1 (optional): bridge prefilter.  Components containing bridges get
   // their bridge edges scored exactly; components without bridges get an
@@ -298,51 +177,46 @@ CommunityResult pbd(const CSRGraph& g, const PBDParams& params) {
       if (st.scores[static_cast<std::size_t>(e)] > 0) {
         const Edge ed = g.edge(e);
         comp_has_bridge[static_cast<std::size_t>(
-            st.membership[static_cast<std::size_t>(ed.u)])] = 1;
+            tracker.membership()[static_cast<std::size_t>(ed.u)])] = 1;
       }
     }
   }
   for (vid_t c = 0; c < num_clusters; ++c) {
     if (!comp_has_bridge[static_cast<std::size_t>(c)])
-      st.score_component(st.comp_vertices[static_cast<std::size_t>(c)],
-                         /*serial_inner=*/false);
+      st.score_component(tracker.vertices_of(c), /*serial_slot=*/-1);
   }
 
   CommunityResult r;
-  r.divisive_trace.offer_best(modularity(g, st.membership), st.membership);
+  r.divisive_trace.offer_best(modularity(g, tracker.membership()),
+                              tracker.membership());
 
   std::vector<vid_t> dirty;  // labels whose scores must be recomputed
   eid_t since_best = 0;
-  vid_t max_comp_size = 0;
-  for (const auto& cv : st.comp_vertices)
-    max_comp_size = std::max(max_comp_size, static_cast<vid_t>(cv.size()));
 
   for (eid_t it = 0; it < max_iter; ++it) {
     // Rescore the components touched by the previous deletion.  Once every
     // live component is small (the semi-automatic switch), dirty components
-    // are processed concurrently with serial traversals inside.
-    const bool coarse = max_comp_size <= params.exact_threshold;
+    // are processed concurrently with serial traversals inside; each such
+    // component's scores come out identical to the sequential path because
+    // the scoring granularity depends only on the component itself.
+    const bool coarse = tracker.max_component_size() <= params.exact_threshold;
     if (coarse && dirty.size() > 1) {
+      const int nt = parallel::num_threads();
+      st.scorer.reserve(nt);  // slot allocation is not thread-safe
       const auto num_dirty = static_cast<std::int64_t>(dirty.size());
       std::atomic<std::int64_t> cursor{0};
-      parallel::run_team(parallel::num_threads(), [&](int) {
-        // Per-thread traversal scratch, reused across components.  Small
-        // components are scored exactly (all sources), so this path never
-        // touches the shared sampling RNG.
-        Scratch sc(g.num_vertices());
+      parallel::run_team(nt, [&](int t) {
         for (std::int64_t i;
              (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
              num_dirty;) {
           st.score_component(
-              st.comp_vertices[static_cast<std::size_t>(
-                  dirty[static_cast<std::size_t>(i)])],
-              /*serial_inner=*/true, &sc);
+              tracker.vertices_of(dirty[static_cast<std::size_t>(i)]),
+              /*serial_slot=*/t);
         }
       });
     } else {
       for (vid_t label : dirty)
-        st.score_component(st.comp_vertices[static_cast<std::size_t>(label)],
-                           /*serial_inner=*/false);
+        st.score_component(tracker.vertices_of(label), /*serial_slot=*/-1);
     }
     dirty.clear();
 
@@ -361,36 +235,23 @@ CommunityResult pbd(const CSRGraph& g, const PBDParams& params) {
     // Step 5: delete; step 6: incremental components + membership update.
     st.alive[static_cast<std::size_t>(best)] = 0;
     const Edge ed = g.edge(best);
-    const vid_t old_label = st.membership[static_cast<std::size_t>(ed.u)];
-    const auto side = detail::split_after_deletion(g, st.alive, st.membership,
-                                                   ed.u, ed.v, next_label);
-    if (!side.empty()) {
-      // Partition the old component's vertex list.
-      auto& old_list =
-          st.comp_vertices[static_cast<std::size_t>(old_label)];
-      std::vector<vid_t> remain;
-      remain.reserve(old_list.size() - side.size());
-      for (vid_t v : old_list)
-        if (st.membership[static_cast<std::size_t>(v)] == old_label)
-          remain.push_back(v);
-      old_list.swap(remain);
-      st.comp_vertices.push_back(side);
-      dirty.push_back(old_label);
-      dirty.push_back(next_label);
-      ++next_label;
-      ++num_clusters;
+    const auto effect = tracker.apply_deletion(g, st.alive, ed.u, ed.v);
+    if (effect.split()) ++num_clusters;
+    if (params.rescore_all) {
+      // Reference mode: mark every live component dirty (ascending label
+      // order, the order the dirty loop preserves).
+      for (vid_t c = 0; c < tracker.num_labels(); ++c)
+        if (tracker.vertices_of(c).size() >= 2) dirty.push_back(c);
     } else {
-      dirty.push_back(old_label);
+      dirty.push_back(effect.first);
+      if (effect.split()) dirty.push_back(effect.second);
     }
-    max_comp_size = 0;
-    for (const auto& cv : st.comp_vertices)
-      max_comp_size = std::max(max_comp_size, static_cast<vid_t>(cv.size()));
 
     // Step 7: modularity of the current partitioning.
-    const double q = modularity(g, st.membership);
+    const double q = modularity(g, tracker.membership());
     const double prev_best = r.divisive_trace.best_modularity();
     r.divisive_trace.record(ed.u, ed.v, num_clusters, q);
-    r.divisive_trace.offer_best(q, st.membership);
+    r.divisive_trace.offer_best(q, tracker.membership());
     since_best = q > prev_best ? 0 : since_best + 1;
     r.iterations = it + 1;
 

@@ -33,6 +33,13 @@ struct PBDParams {
   /// "bridges in the network are likely to have high edge centrality".
   bool bicc_prefilter = true;
 
+  /// Reference mode: rescore every live component each round instead of only
+  /// the components the last deletion touched.  With `bicc_prefilter` off
+  /// and `exact_threshold >= n` (no sampling, so the RNG stream cannot
+  /// diverge) this produces a bitwise-identical trace to the default
+  /// dirty-only mode — the differential test relies on this.
+  bool rescore_all = false;
+
   std::uint64_t seed = 1;
 };
 

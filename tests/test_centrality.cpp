@@ -135,6 +135,41 @@ INSTANTIATE_TEST_SUITE_P(
     Cases, BetweennessGranularity,
     ::testing::Combine(::testing::Values(0, 1), ::testing::Values(1, 4)));
 
+TEST(Betweenness, DisconnectedGraphFineMatchesCoarse) {
+  // Two components: the fine-grained path's touched-only reinitialization
+  // must not leak state from a traversal into the next source's (possibly
+  // different-component) traversal.
+  const EdgeList edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0},
+                       {4, 5, 1.0}, {5, 6, 1.0}};
+  const auto g = CSRGraph::from_edges(7, edges, /*directed=*/false);
+  const auto coarse = betweenness_centrality(g, BCGranularity::kCoarse);
+  const auto fine = betweenness_centrality(g, BCGranularity::kFine);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_DOUBLE_EQ(coarse.vertex[static_cast<std::size_t>(v)],
+                     fine.vertex[static_cast<std::size_t>(v)]);
+  EXPECT_DOUBLE_EQ(coarse.vertex[1], 2.0);  // path 0-1-2-3
+  EXPECT_DOUBLE_EQ(coarse.vertex[5], 1.0);  // path 4-5-6
+}
+
+TEST(Betweenness, WeightedRepeatedCallsBitwiseEqual) {
+  // Regression for the pooled weighted scratch: the settled flags and
+  // distances are reset touched-only between sources, so a repeated run
+  // must reproduce the first bit for bit.  Pinned to one thread — the
+  // dynamic source schedule makes multi-thread partial sums run-varying.
+  parallel::ThreadScope scope(1);
+  const auto g = CSRGraph::from_edges(
+      6, {{0, 1, 2.0}, {1, 2, 1.0}, {0, 2, 4.0}, {2, 3, 1.0}, {3, 4, 2.0},
+          {4, 5, 1.5}},
+      /*directed=*/false);
+  ASSERT_TRUE(g.weighted());
+  const auto first = weighted_betweenness_centrality(g);
+  const auto second = weighted_betweenness_centrality(g);
+  EXPECT_EQ(first.vertex, second.vertex);
+  EXPECT_EQ(first.edge, second.edge);
+  // Sanity: shortest 0->2 goes via 1 (2+1 < 4).
+  EXPECT_GT(first.vertex[1], 0.0);
+}
+
 TEST(Betweenness, DirectedPath) {
   const auto g = CSRGraph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}},
                                       /*directed=*/true);

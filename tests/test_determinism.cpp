@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "snap/centrality/betweenness.hpp"
 #include "snap/community/pma.hpp"
 #include "snap/debug/determinism.hpp"
 #include "snap/debug/validate.hpp"
@@ -179,6 +180,65 @@ TEST(Determinism, PmaMembership) {
     h.sequence(r.clustering.membership);
     h.value(r.clustering.num_clusters);
     h.value(r.iterations);
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+// --------------------------------------------------------- Brandes engine
+// Betweenness floats are NOT thread-count invariant in general (partial-sum
+// boundaries move with nt), so these entries run the engine on graphs where
+// every score is integer-valued — σ = 1 on trees and masked paths, so all
+// dependencies are exact integers and their double sums are order-free.
+// That makes the hash test the *traversal* (and its touched-only scratch
+// reuse), which is exactly the engine property worth pinning.
+
+TEST(Determinism, BrandesCoarseOnTree) {
+  const CSRGraph g = gen::barabasi_albert(600, /*m_per_vertex=*/1, 9);
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    const BetweennessScores bc =
+        betweenness_centrality(g, BCGranularity::kCoarse);
+    h.sequence(bc.vertex);
+    h.sequence(bc.edge);
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+TEST(Determinism, BrandesFineOnTree) {
+  const CSRGraph g = gen::barabasi_albert(600, /*m_per_vertex=*/1, 9);
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    const BetweennessScores bc =
+        betweenness_centrality(g, BCGranularity::kFine);
+    h.sequence(bc.vertex);
+    h.sequence(bc.edge);
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+TEST(Determinism, BrandesMaskedOnFragmentedCycle) {
+  // Masking a few cycle edges leaves disjoint path fragments: several
+  // components per traversal batch, all scores integers.
+  const CSRGraph g = gen::cycle_graph(400);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(g.num_edges()), 1);
+  alive[0] = alive[133] = alive[266] = 0;
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    h.sequence(edge_betweenness_masked(g, alive));
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+TEST(Determinism, BrandesWeightedOnTree) {
+  // A weighted path with distinct weights: the Dijkstra forward phase is
+  // exercised (non-uniform settle order) while σ stays 1 everywhere.
+  EdgeList edges;
+  const vid_t n = 300;
+  for (vid_t v = 0; v + 1 < n; ++v)
+    edges.push_back({v, v + 1, static_cast<weight_t>(1 + (v * 7) % 5)});
+  const CSRGraph g = CSRGraph::from_edges(n, edges, /*directed=*/false);
+  ASSERT_TRUE(g.weighted());
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    const BetweennessScores bc = weighted_betweenness_centrality(g);
+    h.sequence(bc.vertex);
+    h.sequence(bc.edge);
   });
   ASSERT_TRUE(report.deterministic) << report.to_string();
 }

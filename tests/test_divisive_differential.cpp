@@ -1,0 +1,132 @@
+// Differential tests for component-restricted divisive community detection:
+// the dirty-only score-caching mode of girvan_newman / pbd must produce a
+// bitwise-identical run to the retained full-recompute reference mode
+// (identical deletion sequence, cluster counts, modularity trace, best
+// membership) at every thread count.  This is the correctness contract of
+// the caching: component scoring is a pure function of (component, alive
+// mask restricted to it, thread count), so skipping untouched components
+// can never change anything.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snap/community/gn.hpp"
+#include "snap/community/pbd.hpp"
+#include "snap/gen/generators.hpp"
+#include "snap/graph/csr_graph.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+namespace {
+
+CSRGraph rmat_graph(int scale, int edge_factor, std::uint64_t seed) {
+  gen::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = seed;
+  return gen::rmat(p);
+}
+
+/// The four-graph family the differential sweep runs over: a random graph,
+/// a skewed small-world graph, a star (every deletion splits), and two
+/// cliques joined by a bridge (a clean two-community instance).
+std::vector<std::pair<std::string, CSRGraph>> instances() {
+  std::vector<std::pair<std::string, CSRGraph>> out;
+  out.emplace_back("er", gen::erdos_renyi(80, 160, /*directed=*/false, 5));
+  out.emplace_back("rmat", rmat_graph(/*scale=*/6, /*edge_factor=*/4, 7));
+  out.emplace_back("star", gen::star_graph(24));
+  out.emplace_back("two-cliques", gen::barbell_graph(6));
+  return out;
+}
+
+void expect_identical_runs(const CommunityResult& a, const CommunityResult& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.iterations, b.iterations) << what;
+  const auto& sa = a.divisive_trace.steps();
+  const auto& sb = b.divisive_trace.steps();
+  ASSERT_EQ(sa.size(), sb.size()) << what;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].removed_u, sb[i].removed_u) << what << " step " << i;
+    EXPECT_EQ(sa[i].removed_v, sb[i].removed_v) << what << " step " << i;
+    EXPECT_EQ(sa[i].num_clusters, sb[i].num_clusters) << what << " step " << i;
+    // Bitwise: both modes must run the identical per-component arithmetic.
+    EXPECT_EQ(sa[i].modularity, sb[i].modularity) << what << " step " << i;
+  }
+  EXPECT_EQ(a.divisive_trace.best_modularity(),
+            b.divisive_trace.best_modularity())
+      << what;
+  EXPECT_EQ(a.divisive_trace.best_membership(),
+            b.divisive_trace.best_membership())
+      << what;
+  EXPECT_EQ(a.clustering.membership, b.clustering.membership) << what;
+  EXPECT_EQ(a.modularity, b.modularity) << what;
+}
+
+class DivisiveDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivisiveDifferential, GnRestrictedMatchesFullRecompute) {
+  parallel::ThreadScope scope(GetParam());
+  for (const auto& [name, g] : instances()) {
+    DivisiveParams restricted;
+    restricted.max_iterations = 40;  // bound the sweep; identity must hold
+                                     // at every prefix anyway
+    DivisiveParams full = restricted;
+    full.full_recompute = true;
+    const auto a = girvan_newman(g, restricted);
+    const auto b = girvan_newman(g, full);
+    expect_identical_runs(a, b, name);
+  }
+}
+
+TEST_P(DivisiveDifferential, PbdDirtyOnlyMatchesRescoreAll) {
+  parallel::ThreadScope scope(GetParam());
+  for (const auto& [name, g] : instances()) {
+    PBDParams dirty_only;
+    dirty_only.stop.max_iterations = 40;
+    // No sampling (exact scoring everywhere) and no bridge prefilter: both
+    // would make the two modes legitimately diverge — sampling because
+    // rescore_all draws more from the shared RNG stream, the prefilter
+    // because it leaves bridge components unscored until touched.
+    dirty_only.exact_threshold = g.num_vertices();
+    dirty_only.bicc_prefilter = false;
+    PBDParams reference = dirty_only;
+    reference.rescore_all = true;
+    const auto a = pbd(g, dirty_only);
+    const auto b = pbd(g, reference);
+    expect_identical_runs(a, b, name);
+  }
+}
+
+// With sampling fully disabled, pBD's deletion loop is exact GN (same scores,
+// same ascending-edge-id tie-break), so the two algorithms must agree on the
+// deletion sequence — a cross-implementation differential.
+TEST_P(DivisiveDifferential, ExactPbdMatchesGnDeletionSequence) {
+  parallel::ThreadScope scope(GetParam());
+  for (const auto& [name, g] : instances()) {
+    DivisiveParams gp;
+    gp.max_iterations = 25;
+    PBDParams pp;
+    pp.stop.max_iterations = 25;
+    pp.exact_threshold = g.num_vertices();
+    pp.bicc_prefilter = false;
+    const auto a = girvan_newman(g, gp);
+    const auto b = pbd(g, pp);
+    const auto& sa = a.divisive_trace.steps();
+    const auto& sb = b.divisive_trace.steps();
+    ASSERT_EQ(sa.size(), sb.size()) << name;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].removed_u, sb[i].removed_u) << name << " step " << i;
+      EXPECT_EQ(sa[i].removed_v, sb[i].removed_v) << name << " step " << i;
+      EXPECT_EQ(sa[i].num_clusters, sb[i].num_clusters) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DivisiveDifferential,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace snap

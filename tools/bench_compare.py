@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a committed baseline.
+
+Both files are JsonReport output (bench_common.hpp): a JSON array of records
+keyed by (bench, dataset, phase) — thread count is deliberately not part of
+the key, since the baseline and the CI runner rarely have the same core
+count and a missing key would silence the comparison.  For every key
+present in both,
+the current `seconds` is compared to the baseline; slowdowns beyond the
+threshold are reported as warnings.
+
+This is a soft gate: it always exits 0 (CI smoke runners are noisy, shared
+machines — a hard fail would flake), but the warnings land in the job log
+and the ::warning:: annotations surface on the PR.  Regenerate the baseline
+with e.g.
+
+    ./build/bench/bench_kernels --smoke --json bench/baselines/BENCH_centrality.json
+
+on a quiet machine when an intentional perf change shifts it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(rec):
+    return (rec.get("bench"), rec.get("dataset"), rec.get("phase"))
+
+
+def load(path):
+    with open(path) as f:
+        records = json.load(f)
+    out = {}
+    for rec in records:
+        out[key(rec)] = rec
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative slowdown that triggers a warning "
+                         "(0.20 = 20%%)")
+    args = ap.parse_args()
+
+    try:
+        base = load(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read baseline {args.baseline}: {e}")
+        print("bench_compare: skipping comparison (no baseline yet)")
+        return 0
+    cur = load(args.current)
+
+    warned = 0
+    compared = 0
+    for k, rec in sorted(cur.items(), key=str):
+        ref = base.get(k)
+        if ref is None:
+            print(f"  new record (no baseline): {k}")
+            continue
+        base_s, cur_s = ref.get("seconds"), rec.get("seconds")
+        if not base_s or not cur_s:
+            continue
+        compared += 1
+        ratio = cur_s / base_s
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            warned += 1
+            marker = "  <-- REGRESSION"
+            print(f"::warning title=bench regression::{k}: "
+                  f"{base_s:.4f}s -> {cur_s:.4f}s ({ratio:.2f}x)")
+        print(f"  {k}: {base_s:.4f}s -> {cur_s:.4f}s ({ratio:.2f}x){marker}")
+    for k in sorted(base.keys() - cur.keys(), key=str):
+        print(f"  record missing from current run: {k}")
+
+    print(f"bench_compare: {compared} compared, {warned} regressed beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+// Fixture: must trigger [reduction-note] — hand-rolled CAS-add loop with
+// no order-dependence comment.  Bypassing parallel::atomic_add does not
+// bypass the annotation contract.
+#include <atomic>
+
+void accumulate_cas(std::atomic<double>& sum, double x) {
+  double cur = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(cur, cur + x)) {
+  }
+}

@@ -16,7 +16,9 @@ that are unique to this codebase's determinism and performance guarantees:
                     `justification:` comment.  Criticals serialize a
                     parallel region; an unexplained one is either a perf
                     bug or a determinism patch hiding a design problem.
-  reduction-note    Every parallel::atomic_add call site needs a nearby
+  reduction-note    Every parallel::atomic_add call site — and every
+                    hand-rolled CAS accumulation of the form
+                    compare_exchange_weak(cur, cur + x) — needs a nearby
                     `reduction:` comment stating that the accumulated
                     value is order-dependent (and hence not thread-count
                     reproducible).  Keeps the float-determinism contract
@@ -167,20 +169,30 @@ def check_omp_critical(path, raw, code):
 
 
 ATOMIC_ADD = re.compile(r"\bparallel\s*::\s*atomic_add\s*\(")
+# Hand-rolled CAS accumulation: compare_exchange_weak(cur, cur + x) (or
+# cur - x, or compare_exchange_strong).  Same order-dependence as
+# atomic_add — and it additionally bypasses the shared primitive, so it
+# must carry the same 'reduction:' annotation to stay grep-auditable.
+CAS_ADD = re.compile(
+    r"\bcompare_exchange_(?:weak|strong)\s*\(\s*(\w+)\s*,\s*\1\s*[+\-]")
 
 
 def check_reduction_note(path, raw, code):
     if path.name == "parallel.hpp":
         return  # the primitive's own definition
     for i, line in enumerate(code):
-        if not ATOMIC_ADD.search(line):
+        is_atomic_add = bool(ATOMIC_ADD.search(line))
+        is_cas_add = bool(CAS_ADD.search(line))
+        if not (is_atomic_add or is_cas_add):
             continue
         if suppressed(raw, i, "reduction-note"):
             continue
         window = raw[max(0, i - 3) : i + 1]
         if not any("reduction:" in w for w in window):
+            what = ("parallel::atomic_add" if is_atomic_add
+                    else "hand-rolled compare_exchange accumulation")
             yield Finding(path, i + 1, "reduction-note",
-                          "parallel::atomic_add without a 'reduction:' "
+                          f"{what} without a 'reduction:' "
                           "comment within the three preceding lines; state "
                           "that this sum is accumulation-order-dependent")
 
