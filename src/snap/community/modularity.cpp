@@ -27,7 +27,7 @@ namespace {
 
 template <typename Alive>
 double modularity_impl(const CSRGraph& g, const std::vector<vid_t>& membership,
-                       Alive&& alive) {
+                       Alive&& alive, bool force_serial = false) {
   const eid_t m = g.num_edges();
   const auto& edges = g.edges();
 
@@ -40,7 +40,7 @@ double modularity_impl(const CSRGraph& g, const std::vector<vid_t>& membership,
 
   double total_w = 0;
   const int nt = parallel::num_threads();
-  if (nt > 1 && m > 1 << 16) {
+  if (!force_serial && nt > 1 && m > 1 << 16) {
     // Parallel accumulation (the O(m)-work modularity kernel of Algorithm 1
     // step 7): per-thread cluster accumulators, reduced at the end.
     std::vector<std::vector<double>> intra_loc(
@@ -102,6 +102,12 @@ double modularity_impl(const CSRGraph& g, const std::vector<vid_t>& membership,
 
 double modularity(const CSRGraph& g, const std::vector<vid_t>& membership) {
   return modularity_impl(g, membership, [](eid_t) { return true; });
+}
+
+double modularity_ordered(const CSRGraph& g,
+                          const std::vector<vid_t>& membership) {
+  return modularity_impl(g, membership, [](eid_t) { return true; },
+                         /*force_serial=*/true);
 }
 
 double modularity_masked(const CSRGraph& g,

@@ -16,6 +16,15 @@ namespace snap {
 /// structure".  O(m) work, parallelized over the edge array.
 double modularity(const CSRGraph& g, const std::vector<vid_t>& membership);
 
+/// modularity() computed with a fixed serial accumulation order regardless
+/// of thread count.  modularity() forks a team above ~64k edges and its
+/// per-thread float partials round differently per thread count; this
+/// variant trades that speed for a bitwise thread-count-invariant value, so
+/// it is what the deterministic engines (Louvain, label propagation) report
+/// and what the determinism harness may hash.
+double modularity_ordered(const CSRGraph& g,
+                          const std::vector<vid_t>& membership);
+
 /// Modularity restricted to alive edges: the graph's edge set is taken to be
 /// {e : edge_alive[e] != 0} for *both* terms (the divisive algorithms score
 /// the clustering of the full graph, so they pass the full mask — this

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "snap/community/louvain.hpp"
 #include "snap/community/modularity.hpp"
 #include "snap/ds/dendrogram.hpp"
 #include "snap/ds/union_find.hpp"
@@ -65,6 +66,13 @@ std::vector<std::int64_t>& Access::mutable_parent(UnionFind& uf) {
 
 std::uint64_t Access::snapshot_epoch(const stream::StreamingGraph& sg) {
   return sg.snapshot_epoch_;
+}
+
+std::vector<vid_t>& Access::mutable_louvain_membership(LouvainLevel& lvl) {
+  return lvl.membership_;
+}
+std::vector<double>& Access::mutable_louvain_volume(LouvainLevel& lvl) {
+  return lvl.volume_;
 }
 
 // ---------------------------------------------------------------------------
@@ -439,6 +447,80 @@ ValidationReport validate(const CSRGraph& g, const std::vector<vid_t>& membershi
                " does not match recomputation ", q, " (|diff| = ",
                std::abs(q - reported_modularity), " > tol ", tol, ")");
   }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// LouvainLevel.
+
+ValidationReport validate(const CSRGraph& g, const LouvainLevel& lvl,
+                          double tol) {
+  ValidationReport report;
+  report.subject = "Louvain level";
+  Checker ck{report};
+
+  const vid_t n = g.num_vertices();
+  const auto& membership = lvl.membership();
+  const auto& volume = lvl.community_volume();
+  const vid_t k = lvl.num_communities();
+  if (!ck.require(membership.size() == static_cast<std::size_t>(n),
+                  "membership size ", membership.size(), " != n = ", n))
+    return report;
+  if (!ck.require(k >= 0 && k <= n, "community count ", k, " out of [0, ", n,
+                  "]"))
+    return report;
+
+  // Labels dense in [0, k): in range, every community inhabited.
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(k), 0);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t c = membership[static_cast<std::size_t>(v)];
+    if (!ck.require(c >= 0 && c < k, "vertex ", v, " carries label ", c,
+                    " out of [0, ", k, ")"))
+      return report;
+    seen[static_cast<std::size_t>(c)] = 1;
+  }
+  for (vid_t c = 0; c < k; ++c)
+    ck.require(seen[static_cast<std::size_t>(c)] != 0, "label ", c,
+               " unused — labels are not dense in [0, ", k, ")");
+
+  // Volume table against an independent recomputation: sum each vertex's
+  // arc weights (a self-loop stores two arcs, so it counts twice — the
+  // Louvain volume convention), accumulated in ascending vertex order.
+  std::vector<double> recomputed(static_cast<std::size_t>(k), 0.0);
+  for (vid_t v = 0; v < n; ++v) {
+    double s = 0.0;
+    for (const weight_t w : g.weights(v)) s += w;
+    recomputed[static_cast<std::size_t>(
+        membership[static_cast<std::size_t>(v)])] += s;
+  }
+  for (vid_t c = 0; c < k; ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    ck.require(std::abs(volume[sc] - recomputed[sc]) <= tol, "community ", c,
+               " stores volume ", volume[sc],
+               " but members' weighted degrees sum to ", recomputed[sc]);
+  }
+
+  // The contraction preserves volume: coarse vertex c's weighted degree
+  // (self-loops stored twice) must equal community c's volume.
+  const CSRGraph& coarse = lvl.coarse_graph();
+  if (ck.require(coarse.num_vertices() == k, "coarse graph has ",
+                 coarse.num_vertices(), " vertices, expected ", k,
+                 " communities")) {
+    for (vid_t c = 0; c < k; ++c) {
+      double s = 0.0;
+      for (const weight_t w : coarse.weights(c)) s += w;
+      ck.require(std::abs(s - volume[static_cast<std::size_t>(c)]) <= tol,
+                 "coarse vertex ", c, " has weighted degree ", s,
+                 " but community volume is ",
+                 volume[static_cast<std::size_t>(c)],
+                 " (contraction lost weight)");
+    }
+  }
+
+  // Level modularity against a thread-count-invariant recomputation.
+  const double q = modularity_ordered(g, membership);
+  ck.require(std::abs(q - lvl.modularity()) <= tol, "level modularity ",
+             lvl.modularity(), " does not match recomputation ", q);
   return report;
 }
 

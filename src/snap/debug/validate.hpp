@@ -24,6 +24,7 @@ class CSRGraph;
 class DynamicGraph;
 class UnionFind;
 class MergeDendrogram;
+class LouvainLevel;
 
 namespace stream {
 class StreamingGraph;
@@ -79,6 +80,10 @@ struct Access {
 
   // StreamingGraph
   static std::uint64_t snapshot_epoch(const stream::StreamingGraph& sg);
+
+  // LouvainLevel
+  static std::vector<vid_t>& mutable_louvain_membership(LouvainLevel& lvl);
+  static std::vector<double>& mutable_louvain_volume(LouvainLevel& lvl);
 };
 
 /// CSR arrays: monotone offsets covering the adjacency exactly, in-range
@@ -114,6 +119,16 @@ struct Access {
                                         const std::vector<vid_t>& membership,
                                         double reported_modularity,
                                         double tol = 1e-9);
+
+/// One Louvain hierarchy level against the fine graph it was computed on:
+/// labels dense in [0, num_communities), the community-volume table matching
+/// an independent ascending-vertex recomputation of member weighted degrees,
+/// the coarse graph's per-vertex weighted degrees matching the volume table
+/// (contraction preserves volume), and the recorded level modularity matching
+/// a thread-count-invariant recomputation.
+[[nodiscard]] ValidationReport validate(const CSRGraph& g,
+                                        const LouvainLevel& lvl,
+                                        double tol = 1e-6);
 
 /// Streaming engine: the wrapped DynamicGraph validates, and the epoch-cached
 /// snapshot (when fresh) agrees with the live graph's vertex/edge counts.

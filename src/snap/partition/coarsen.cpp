@@ -44,19 +44,30 @@ CoarseLevel coarsen_heavy_edge(const CSRGraph& g,
   }
 
   // Assign coarse ids (one per matched pair / singleton).
-  CoarseLevel lvl;
-  lvl.fine_to_coarse.assign(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> fine_to_coarse(static_cast<std::size_t>(n), kInvalidVid);
   vid_t next = 0;
   for (vid_t v = 0; v < n; ++v) {
-    if (lvl.fine_to_coarse[static_cast<std::size_t>(v)] != kInvalidVid)
-      continue;
+    if (fine_to_coarse[static_cast<std::size_t>(v)] != kInvalidVid) continue;
     const vid_t u = match[static_cast<std::size_t>(v)];
-    lvl.fine_to_coarse[static_cast<std::size_t>(v)] = next;
-    lvl.fine_to_coarse[static_cast<std::size_t>(u)] = next;
+    fine_to_coarse[static_cast<std::size_t>(v)] = next;
+    fine_to_coarse[static_cast<std::size_t>(u)] = next;
     ++next;
   }
 
-  lvl.vertex_weight.assign(static_cast<std::size_t>(next), 0);
+  return contract_by_map(g, fine_to_coarse, next, vertex_weight,
+                         /*keep_self_loops=*/false);
+}
+
+CoarseLevel contract_by_map(const CSRGraph& g,
+                            const std::vector<vid_t>& fine_to_coarse,
+                            vid_t num_coarse,
+                            const std::vector<weight_t>& vertex_weight,
+                            bool keep_self_loops) {
+  const vid_t n = g.num_vertices();
+  CoarseLevel lvl;
+  lvl.fine_to_coarse = fine_to_coarse;
+
+  lvl.vertex_weight.assign(static_cast<std::size_t>(num_coarse), 0);
   for (vid_t v = 0; v < n; ++v)
     lvl.vertex_weight[static_cast<std::size_t>(
         lvl.fine_to_coarse[static_cast<std::size_t>(v)])] +=
@@ -69,7 +80,7 @@ CoarseLevel coarsen_heavy_edge(const CSRGraph& g,
   for (const Edge& e : g.edges()) {
     const vid_t cu = lvl.fine_to_coarse[static_cast<std::size_t>(e.u)];
     const vid_t cv = lvl.fine_to_coarse[static_cast<std::size_t>(e.v)];
-    if (cu == cv) continue;  // interior edge collapses
+    if (cu == cv && !keep_self_loops) continue;  // interior edge collapses
     coarse_edges.push_back({std::min(cu, cv), std::max(cu, cv), e.w});
   }
   // Total-order key (u, v, w): ties in (u, v) then carry equal weights, so
@@ -90,7 +101,9 @@ CoarseLevel coarsen_heavy_edge(const CSRGraph& g,
   }
   BuildOptions opts;
   opts.dedupe = false;  // already merged
-  lvl.graph = CSRGraph::from_edges(next, merged, /*directed=*/false, opts);
+  opts.remove_self_loops = !keep_self_loops;
+  lvl.graph =
+      CSRGraph::from_edges(num_coarse, merged, /*directed=*/false, opts);
   return lvl;
 }
 

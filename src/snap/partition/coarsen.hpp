@@ -24,4 +24,19 @@ CoarseLevel coarsen_heavy_edge(const CSRGraph& g,
                                const std::vector<weight_t>& vertex_weight,
                                std::uint64_t seed);
 
+/// Contract g along an arbitrary fine→coarse vertex map (coarse ids dense in
+/// [0, num_coarse)): parallel coarse edges merge with summed weights, coarse
+/// vertex weights sum the fine ones.  With `keep_self_loops` every edge
+/// interior to a coarse vertex survives as a self-loop carrying its weight —
+/// the Louvain contraction, which preserves modularity across levels exactly;
+/// without it interior edges collapse, the matching-coarsener convention
+/// (`coarsen_heavy_edge` is this function applied to a heavy-edge matching).
+/// The merge orders coarse edges by the total key (u, v, w), so the output
+/// graph is byte-identical at every thread count.
+CoarseLevel contract_by_map(const CSRGraph& g,
+                            const std::vector<vid_t>& fine_to_coarse,
+                            vid_t num_coarse,
+                            const std::vector<weight_t>& vertex_weight,
+                            bool keep_self_loops);
+
 }  // namespace snap

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "snap/centrality/betweenness.hpp"
+#include "snap/community/label_prop.hpp"
+#include "snap/community/louvain.hpp"
 #include "snap/community/pma.hpp"
 #include "snap/debug/determinism.hpp"
 #include "snap/debug/validate.hpp"
@@ -180,6 +182,57 @@ TEST(Determinism, PmaMembership) {
     h.sequence(r.clustering.membership);
     h.value(r.clustering.num_clusters);
     h.value(r.iterations);
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+TEST(Determinism, LouvainHierarchy) {
+  // The full Louvain surface is hashable — unlike pMA, even the modularity
+  // values: every float in the hierarchy (community volumes, per-level and
+  // final modularity, dendrogram merge scores) comes from fixed-order serial
+  // accumulation (modularity_ordered, ascending-vertex volume sums), so the
+  // bitwise guarantee covers the scores, not just the partitions.
+  const CSRGraph g =
+      gen::planted_partition(3000, 12, /*deg_in=*/10.0, /*deg_out=*/2.0, 77);
+  LouvainParams params;
+  params.path = LouvainPath::kParallel;  // force it even below the cutoff
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    const LouvainResult r = louvain(g, params);
+    h.sequence(r.community.clustering.membership);
+    h.value(r.community.clustering.num_clusters);
+    h.value(r.community.modularity);
+    h.value(r.community.iterations);
+    h.value(r.refine_moves);
+    h.value(r.community.dendrogram.baseline());
+    for (const auto& mg : r.community.dendrogram.merges()) {
+      h.value(mg.a);
+      h.value(mg.b);
+      h.value(mg.modularity);
+    }
+    for (const LouvainLevel& lvl : r.levels) {
+      h.sequence(lvl.membership());
+      h.sequence(lvl.community_volume());
+      h.value(lvl.num_communities());
+      h.value(lvl.modularity());
+      h.value(lvl.sweeps());
+      h.value(lvl.moves());
+    }
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+TEST(Determinism, LabelPropagationLabels) {
+  const CSRGraph g = rmat_graph(13, 6, 83);
+  LabelPropParams params;
+  params.path = LabelPropPath::kParallel;
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    const LabelPropResult r = label_propagation(g, params);
+    h.sequence(canonical_labels(r.community.clustering.membership));
+    h.value(r.community.clustering.num_clusters);
+    h.value(r.community.modularity);  // modularity_ordered: bitwise stable
+    h.value(r.sweeps);
+    h.value(r.converged);
+    h.value(r.community.iterations);
   });
   ASSERT_TRUE(report.deterministic) << report.to_string();
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "snap/community/louvain.hpp"
 #include "snap/community/modularity.hpp"
 #include "snap/debug/check.hpp"
 #include "snap/debug/validate.hpp"
@@ -223,6 +224,47 @@ TEST(ValidateCommunity, WrongModularityCaught) {
   const ValidationReport r = debug::validate(g, membership, q + 0.25);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(mentions(r, "modularity")) << r.to_string();
+}
+
+// --------------------------------------------------------- Louvain level
+
+/// The planted-partition fine graph the Louvain mutation tests run on: the
+/// planted structure guarantees moves, so the hierarchy has a first level.
+CSRGraph louvain_fine_graph() {
+  return gen::planted_partition(120, 4, /*deg_in=*/10.0, /*deg_out=*/1.0, 19);
+}
+
+TEST(ValidateLouvain, CleanLevelPasses) {
+  const CSRGraph g = louvain_fine_graph();
+  const LouvainResult r = louvain(g);
+  ASSERT_FALSE(r.levels.empty());
+  const ValidationReport rep = debug::validate(g, r.levels.front());
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_GT(rep.checks_run, 0u);
+}
+
+TEST(ValidateLouvain, CorruptMembershipCaught) {
+  const CSRGraph g = louvain_fine_graph();
+  LouvainResult r = louvain(g);
+  ASSERT_FALSE(r.levels.empty());
+  // Point one vertex at a community id past the dense range: the validator
+  // must name the out-of-range label (and the volume table now disagrees
+  // with the membership too).
+  Access::mutable_louvain_membership(r.levels.front())[3] =
+      r.levels.front().num_communities() + 7;
+  const ValidationReport rep = debug::validate(g, r.levels.front());
+  ASSERT_FALSE(rep.ok());
+  EXPECT_TRUE(mentions(rep, "label")) << rep.to_string();
+}
+
+TEST(ValidateLouvain, CorruptVolumeTableCaught) {
+  const CSRGraph g = louvain_fine_graph();
+  LouvainResult r = louvain(g);
+  ASSERT_FALSE(r.levels.empty());
+  Access::mutable_louvain_volume(r.levels.front())[0] += 5.0;
+  const ValidationReport rep = debug::validate(g, r.levels.front());
+  ASSERT_FALSE(rep.ok());
+  EXPECT_TRUE(mentions(rep, "volume")) << rep.to_string();
 }
 
 // -------------------------------------------------------- StreamingGraph

@@ -27,6 +27,8 @@
 #include "snap/centrality/stress.hpp"
 #include "snap/community/anneal.hpp"
 #include "snap/community/gn.hpp"
+#include "snap/community/label_prop.hpp"
+#include "snap/community/louvain.hpp"
 #include "snap/community/pbd.hpp"
 #include "snap/community/pla.hpp"
 #include "snap/community/pma.hpp"
@@ -230,6 +232,10 @@ int cmd_community(const Args& a) {
     r = pma(g);
   } else if (algo == "pla") {
     r = pla(g);
+  } else if (algo == "louvain") {
+    r = louvain(g).community;
+  } else if (algo == "plp") {
+    r = label_propagation(g).community;
   } else if (algo == "pbd") {
     PBDParams p;
     p.stop.max_iterations = a.geti("max-iterations", 0);
@@ -246,9 +252,10 @@ int cmd_community(const Args& a) {
   } else if (algo == "anneal") {
     r = anneal_modularity(g);
   } else {
-    std::fprintf(stderr,
-                 "unknown algorithm: %s (pbd|pma|pla|gn|spectral|anneal)\n",
-                 algo.c_str());
+    std::fprintf(
+        stderr,
+        "unknown algorithm: %s (pbd|pma|pla|louvain|plp|gn|spectral|anneal)\n",
+        algo.c_str());
     return 2;
   }
   std::printf("%s: %lld communities, modularity q=%.4f (%.2fs)\n",
@@ -362,7 +369,7 @@ void usage() {
       "             [--scale S] [--edge-factor F] [--k K] [--seed S]\n"
       "  convert    --in FILE --out FILE [--in-format F] [--out-format F]\n"
       "  summary    --in FILE [--path-samples N]\n"
-      "  community  --in FILE [--algo pbd|pma|pla|gn|spectral|anneal] [--out FILE]\n"
+      "  community  --in FILE [--algo pbd|pma|pla|louvain|plp|gn|spectral|anneal] [--out FILE]\n"
       "  partition  --in FILE --k K [--method kway|recursive|lanczos|rqi]\n"
       "  centrality --in FILE [--metric degree|closeness|betweenness|stress]\n"
       "             [--top N] [--samples N]\n"
