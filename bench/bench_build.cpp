@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "corpus.hpp"
 #include "snap/gen/generators.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/io/edge_list_io.hpp"
@@ -102,7 +103,26 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() / "snap_bench_build_edges.txt")
           .string();
 
-  for (const Instance& inst : instances(smoke)) {
+  std::vector<Instance> insts;
+  {
+    std::string cname;
+    snap::CSRGraph cg;
+    if (snapbench::corpus_from_flags(argc, argv, &cname, &cg)) {
+      // Rebuild-from-edges throughput on the corpus instance's edge list.
+      Instance inst;
+      inst.label = cname;
+      inst.n = cg.num_vertices();
+      inst.directed = cg.directed();
+      inst.params = {{"family", "corpus"}};
+      const snap::EdgeList edges = cg.edges();
+      inst.make_edges = [edges] { return edges; };
+      insts.push_back(std::move(inst));
+    } else {
+      insts = instances(smoke);
+    }
+  }
+
+  for (const Instance& inst : insts) {
     std::printf("\n-- %s (n=%lld) --\n", inst.label.c_str(),
                 static_cast<long long>(inst.n));
     std::printf("%8s %12s %14s %14s %12s %12s\n", "threads", "gen",

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "corpus.hpp"
 #include "snap/community/label_prop.hpp"
 #include "snap/community/louvain.hpp"
 #include "snap/community/pla.hpp"
@@ -71,9 +72,19 @@ int main(int argc, char** argv) {
   const int pmax = parallel::max_threads();
   parallel::ThreadScope scope(pmax);
 
+  std::vector<Instance> insts;
+  {
+    std::string cname;
+    CSRGraph cg;
+    if (corpus_from_flags(argc, argv, &cname, &cg))
+      insts.push_back({cname, std::move(cg)});
+    else
+      insts = make_instances(smoke);
+  }
+
   std::printf("%-18s %8s %9s | %-7s %9s %8s %7s\n", "Network", "n", "m",
               "algo", "q", "time(s)", "k");
-  for (const Instance& inst : make_instances(smoke)) {
+  for (const Instance& inst : insts) {
     const JsonReport::Params base_params{
         {"n", std::to_string(inst.g.num_vertices())},
         {"m", std::to_string(inst.g.num_edges())}};

@@ -14,26 +14,31 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "corpus.hpp"
 #include "snap/community/pbd.hpp"
 #include "snap/community/pla.hpp"
 #include "snap/community/pma.hpp"
 #include "snap/util/parallel.hpp"
 #include "snap/util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snap;
   using namespace snapbench;
   print_header("Figure 2: parallel performance of pBD / pMA / pLA on RMAT-SF");
 
   // The sweep re-runs all three algorithms once per thread setting, so the
   // default instance is 0.2 x SNAP_SCALE x the paper's RMAT-SF; raise
-  // SNAP_SCALE to grow it (SNAP_SCALE=5 reproduces the full 400k/1.6M).
-  const double f = 0.2 * scale();
-  const CSRGraph g =
-      rmat_fold(std::max<vid_t>(1024, static_cast<vid_t>(400000 * f)),
-                std::max<eid_t>(4096, static_cast<eid_t>(1600000 * f)), false,
-                106);
-  std::printf("RMAT-SF: n=%lld m=%lld\n\n",
+  // SNAP_SCALE to grow it (SNAP_SCALE=5 reproduces the full 400k/1.6M), or
+  // pass --corpus NAME to sweep a named corpus instance instead.
+  std::string cname = "RMAT-SF";
+  CSRGraph g;
+  if (!corpus_from_flags(argc, argv, &cname, &g)) {
+    const double f = 0.2 * scale();
+    g = rmat_fold(std::max<vid_t>(1024, static_cast<vid_t>(400000 * f)),
+                  std::max<eid_t>(4096, static_cast<eid_t>(1600000 * f)),
+                  false, 106);
+  }
+  std::printf("%s: n=%lld m=%lld\n\n", cname.c_str(),
               static_cast<long long>(g.num_vertices()),
               static_cast<long long>(g.num_edges()));
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "corpus.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/graph/dynamic_graph.hpp"
 #include "snap/stream/streaming_graph.hpp"
@@ -109,9 +110,16 @@ int main(int argc, char** argv) {
 
   // Base graph the stream mutates; the update volume per configuration keeps
   // the largest batch size exercised even in smoke mode.
-  const snap::vid_t n = smoke ? (1 << 15) : (1 << 17);
+  std::string corpus_name;
+  snap::CSRGraph corpus_graph;
+  const bool use_corpus = snapbench::corpus_from_flags(
+      argc, argv, &corpus_name, &corpus_graph);
+  const snap::vid_t n =
+      use_corpus ? corpus_graph.num_vertices() : (smoke ? (1 << 15) : (1 << 17));
   const snap::eid_t m = 16 * static_cast<snap::eid_t>(n);
-  const snap::CSRGraph base = snapbench::rmat_fold(n, m, false, 77);
+  const snap::CSRGraph base = use_corpus
+                                  ? std::move(corpus_graph)
+                                  : snapbench::rmat_fold(n, m, false, 77);
   const std::size_t total_updates = smoke ? 200000 : 800000;
 
   const std::vector<std::size_t> batch_sizes = {1000, 10000, 100000};

@@ -297,6 +297,42 @@ CSRGraph CSRGraph::from_edges(vid_t n, const EdgeList& input, bool directed,
   return g;
 }
 
+CSRGraph CSRGraph::from_parts(vid_t n, eid_t m, bool directed, bool weighted,
+                              bool sorted, std::vector<eid_t> offsets,
+                              std::vector<vid_t> adj,
+                              std::vector<weight_t> weights,
+                              std::vector<eid_t> arc_edge_ids,
+                              EdgeList edge_endpoints) {
+  SNAP_ASSERT(n >= 0 && m >= 0, "from_parts: negative n=", n, " or m=", m);
+  SNAP_ASSERT(offsets.size() == static_cast<std::size_t>(n) + 1,
+              "from_parts: offsets size ", offsets.size(), " != n+1 = ",
+              n + 1);
+  const auto arcs = static_cast<std::size_t>(directed ? m : 2 * m);
+  SNAP_ASSERT(adj.size() == arcs && weights.size() == arcs &&
+                  arc_edge_ids.size() == arcs,
+              "from_parts: arc array sizes (", adj.size(), ", ",
+              weights.size(), ", ", arc_edge_ids.size(), ") != ", arcs);
+  SNAP_ASSERT(edge_endpoints.size() == static_cast<std::size_t>(m),
+              "from_parts: edge list size ", edge_endpoints.size(),
+              " != m = ", m);
+  SNAP_ASSERT(n == 0 || (offsets.front() == 0 &&
+                         offsets.back() == static_cast<eid_t>(arcs)),
+              "from_parts: offsets do not cover the adjacency");
+  CSRGraph g;
+  g.n_ = n;
+  g.m_ = m;
+  g.directed_ = directed;
+  g.weighted_ = weighted;
+  g.sorted_ = sorted;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  g.weights_ = std::move(weights);
+  g.arc_edge_ids_ = std::move(arc_edge_ids);
+  g.edge_endpoints_ = std::move(edge_endpoints);
+  SNAP_VALIDATE(g);
+  return g;
+}
+
 bool CSRGraph::has_edge(vid_t u, vid_t v) const {
   const auto nb = neighbors(u);
   if (sorted_) return std::binary_search(nb.begin(), nb.end(), v);

@@ -47,6 +47,22 @@ class CSRGraph {
   static CSRGraph from_edges(vid_t n, const EdgeList& edges, bool directed,
                              const BuildOptions& opts = {});
 
+  /// Adopt prebuilt CSR arrays without any normalization, dedupe, or sort —
+  /// the O(read) path behind the binary snapshot cache (io::binary_io) and
+  /// the direct relabeling transforms.  The caller asserts the arrays are a
+  /// valid CSR image exactly as `from_edges` would have produced one:
+  /// offsets of size n+1 covering adj/weights/arc_edge_ids, canonical
+  /// undirected endpoints (u <= v), arc symmetry, and — when `sorted` —
+  /// rows ordered by (neighbor, edge id).  Cheap size invariants are
+  /// asserted always; the full O(n+m) structural validator runs at
+  /// SNAP_CHECK_LEVEL=2.
+  static CSRGraph from_parts(vid_t n, eid_t m, bool directed, bool weighted,
+                             bool sorted, std::vector<eid_t> offsets,
+                             std::vector<vid_t> adj,
+                             std::vector<weight_t> weights,
+                             std::vector<eid_t> arc_edge_ids,
+                             EdgeList edge_endpoints);
+
   [[nodiscard]] vid_t num_vertices() const { return n_; }
   [[nodiscard]] eid_t num_edges() const { return m_; }
   [[nodiscard]] eid_t num_arcs() const {
@@ -102,6 +118,22 @@ class CSRGraph {
 
   /// All logical edges (endpoints + weight).
   [[nodiscard]] const EdgeList& edges() const { return edge_endpoints_; }
+
+  /// Read-only views of the flat CSR arrays, for consumers that stream the
+  /// whole image (binary snapshots, the compressed/partitioned
+  /// representations) rather than walking per-vertex spans.
+  [[nodiscard]] std::span<const eid_t> row_offsets() const {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const vid_t> adjacency() const { return adj_; }
+  [[nodiscard]] std::span<const weight_t> arc_weights() const {
+    return weights_;
+  }
+  [[nodiscard]] std::span<const eid_t> arc_edge_id_array() const {
+    return arc_edge_ids_;
+  }
+  /// True if every row is sorted by (neighbor, edge id).
+  [[nodiscard]] bool adjacency_sorted() const { return sorted_; }
 
  private:
   // Validators (and their mutation tests) read the raw arrays directly.

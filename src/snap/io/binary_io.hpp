@@ -1,17 +1,30 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "snap/graph/csr_graph.hpp"
 
 namespace snap::io {
 
-/// Write `g` in SNAP's compact binary snapshot format (magic "SNAPB1\n",
-/// then n / m / flags and the raw logical-edge array).  Loads are an order of
-/// magnitude faster than text parsing for the multi-million-edge instances.
+/// Current binary snapshot format version ("SNAPB2").
+inline constexpr std::uint32_t kBinaryFormatVersion = 2;
+
+/// Write `g` in SNAP's binary snapshot format, version 2: a fixed header
+/// (magic "SNAPB2\n", format version, flags, n, m, payload byte count and an
+/// FNV-1a checksum of the payload) followed by the raw CSR arrays —
+/// offsets, adjacency, arc edge ids, per-arc weights (weighted graphs only)
+/// and the logical edge list.  Storing the CSR image directly makes a load
+/// O(read): `read_binary` adopts the arrays via `CSRGraph::from_parts`
+/// instead of re-running the sort/dedupe/placement build pipeline, which is
+/// what lets the multi-GB bench corpus instances load in seconds.
 void write_binary(const CSRGraph& g, const std::string& path);
 
-/// Read a graph written by `write_binary`.
+/// Read a graph written by `write_binary`.  Understands both the current
+/// "SNAPB2" CSR-array format (header checksum verified; corrupt or
+/// truncated files are rejected with a clear error) and the legacy
+/// "SNAPB1" edge-list format (no checksum; the CSR is rebuilt via
+/// `from_edges`).
 CSRGraph read_binary(const std::string& path);
 
 }  // namespace snap::io

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "snap/debug/check.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap {
@@ -94,6 +95,39 @@ Components sv_components(const CSRGraph& g, EdgeAlive&& alive) {
 
 Components connected_components(const CSRGraph& g) {
   return sv_components(g, [](eid_t) { return true; });
+}
+
+Components connected_components_bfs(const CSRGraph& g) {
+  SNAP_ASSERT(!g.directed(),
+              "connected_components_bfs requires an undirected graph");
+  const vid_t n = g.num_vertices();
+  Components out;
+  out.label.assign(static_cast<std::size_t>(n), 0);
+  out.count = 0;
+  std::vector<std::uint64_t> visited((static_cast<std::size_t>(n) + 63) / 64,
+                                     0);
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  for (vid_t s = 0; s < n; ++s) {
+    if ((visited[static_cast<std::size_t>(s) >> 6] >> (s & 63)) & 1) continue;
+    const vid_t comp = out.count++;
+    visited[static_cast<std::size_t>(s) >> 6] |= std::uint64_t{1} << (s & 63);
+    out.label[static_cast<std::size_t>(s)] = comp;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vid_t u = queue[head];
+      for (const vid_t w : g.neighbors(u)) {
+        const std::size_t word = static_cast<std::size_t>(w) >> 6;
+        const std::uint64_t bit = std::uint64_t{1} << (w & 63);
+        if (visited[word] & bit) continue;
+        visited[word] |= bit;
+        out.label[static_cast<std::size_t>(w)] = comp;
+        queue.push_back(w);
+      }
+    }
+  }
+  return out;
 }
 
 Components connected_components_masked(

@@ -23,6 +23,15 @@ struct Components {
 /// (weak connectivity for directed graphs).
 Components connected_components(const CSRGraph& g);
 
+/// Connected components by a serial BFS sweep over the CSR adjacency
+/// (undirected graphs only).  Produces exactly the same labels as
+/// `connected_components`.  The SV engine above scans the logical edge
+/// array sequentially, so its memory traffic is insensitive to the vertex
+/// numbering; this variant walks adjacency rows and a visited bitmap, which
+/// makes it the component engine that rewards the locality reorder
+/// pre-passes in `graph/reorder` (see docs/PERFORMANCE.md).
+Components connected_components_bfs(const CSRGraph& g);
+
 /// Connected components of the subgraph of edges with
 /// `edge_alive[edge_id] != 0` — the incremental step of the divisive
 /// community algorithms (GN / pBD) after an edge removal.

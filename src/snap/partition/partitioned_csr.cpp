@@ -1,0 +1,346 @@
+#include "snap/partition/partitioned_csr.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <utility>
+
+#include "snap/debug/check.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+
+namespace {
+
+/// Run one body per shard on the kernel thread team.  Shards beyond the
+/// delivered thread count are folded round-robin (run_team semantics), so
+/// k may exceed the hardware concurrency.
+template <typename F>
+void for_each_shard(int k, F&& body) {
+  parallel::run_team(k, std::forward<F>(body));
+}
+
+}  // namespace
+
+PartitionedCSR PartitionedCSR::build(const CSRGraph& g,
+                                     const PartitionedCSROptions& opts) {
+  SNAP_ASSERT(!g.directed(),
+              "PartitionedCSR: undirected graphs only (kernels rely on arc "
+              "symmetry to propagate across shards)");
+  PartitionedCSR p;
+  p.n_ = g.num_vertices();
+  p.arcs_ = g.num_arcs();
+  const vid_t n = p.n_;
+  int k = opts.num_shards > 0 ? opts.num_shards : parallel::num_threads();
+  k = std::max(1, std::min<int>(k, static_cast<int>(std::max<vid_t>(1, n))));
+
+  // 1. Cut: per-old-vertex shard assignment.
+  std::vector<std::int32_t> part(static_cast<std::size_t>(n), 0);
+  bool partitioned = false;
+  if (opts.use_partitioner && k > 1 && n > static_cast<vid_t>(k)) {
+    const PartitionResult pr = multilevel_kway(g, k, opts.partition);
+    if (pr.success && pr.k == k) {
+      part = pr.part;
+      partitioned = true;
+    }
+  }
+  if (!partitioned && k > 1) {
+    // Contiguous input-order chunks: balanced, deterministic, cheap.
+    parallel::parallel_for(n, [&](vid_t v) {
+      part[static_cast<std::size_t>(v)] =
+          static_cast<std::int32_t>(static_cast<std::int64_t>(v) * k / n);
+    });
+  }
+
+  // 2. Shard-major relabeling: new id order = (shard, old id) ascending.
+  p.new_to_old_.resize(static_cast<std::size_t>(n));
+  std::iota(p.new_to_old_.begin(), p.new_to_old_.end(), vid_t{0});
+  parallel::parallel_sort(p.new_to_old_.begin(), p.new_to_old_.end(),
+                          [&](vid_t a, vid_t b) {
+                            const auto pa = part[static_cast<std::size_t>(a)];
+                            const auto pb = part[static_cast<std::size_t>(b)];
+                            if (pa != pb) return pa < pb;
+                            return a < b;
+                          });
+  p.old_to_new_.resize(static_cast<std::size_t>(n));
+  parallel::parallel_for(n, [&](vid_t i) {
+    p.old_to_new_[static_cast<std::size_t>(
+        p.new_to_old_[static_cast<std::size_t>(i)])] = i;
+  });
+  p.shard_of_.resize(static_cast<std::size_t>(n));
+  parallel::parallel_for(n, [&](vid_t i) {
+    p.shard_of_[static_cast<std::size_t>(i)] =
+        part[static_cast<std::size_t>(p.new_to_old_[static_cast<std::size_t>(i)])];
+  });
+
+  // Shard boundaries in new-id space (shard ids may be empty; ranges stay
+  // monotone).
+  std::vector<vid_t> count(static_cast<std::size_t>(k), 0);
+  for (vid_t v = 0; v < n; ++v) ++count[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])];
+  p.shards_.resize(static_cast<std::size_t>(k));
+  vid_t run = 0;
+  for (int s = 0; s < k; ++s) {
+    p.shards_[static_cast<std::size_t>(s)].first = run;
+    run += count[static_cast<std::size_t>(s)];
+    p.shards_[static_cast<std::size_t>(s)].last = run;
+  }
+  SNAP_DCHECK(run == n, "shard ranges cover ", run, " of ", n, " vertices");
+
+  // 3. Owner-thread materialization: each shard's offsets/adjacency are
+  // allocated and written by the thread that owns the shard, so first-touch
+  // page placement lands the arrays in the owner's memory domain.
+  std::vector<eid_t> boundary(static_cast<std::size_t>(k), 0);
+  for_each_shard(k, [&](int s) {
+    Shard& sh = p.shards_[static_cast<std::size_t>(s)];
+    const vid_t owned = sh.owned();
+    sh.offsets.resize(static_cast<std::size_t>(owned) + 1);
+    sh.offsets[0] = 0;
+    for (vid_t i = 0; i < owned; ++i) {
+      const vid_t old =
+          p.new_to_old_[static_cast<std::size_t>(sh.first + i)];
+      sh.offsets[static_cast<std::size_t>(i) + 1] =
+          sh.offsets[static_cast<std::size_t>(i)] + g.degree(old);
+    }
+    sh.adj.resize(static_cast<std::size_t>(sh.offsets[static_cast<std::size_t>(owned)]));
+    eid_t cross = 0;
+    for (vid_t i = 0; i < owned; ++i) {
+      const vid_t old =
+          p.new_to_old_[static_cast<std::size_t>(sh.first + i)];
+      const auto nb = g.neighbors(old);
+      vid_t* row = sh.adj.data() + sh.offsets[static_cast<std::size_t>(i)];
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        row[j] = p.old_to_new_[static_cast<std::size_t>(nb[j])];
+      std::sort(row, row + nb.size());
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        if (p.shard_of_[static_cast<std::size_t>(row[j])] != s) ++cross;
+    }
+    boundary[static_cast<std::size_t>(s)] = cross;
+  });
+  for (int s = 0; s < k; ++s) {
+    p.shards_[static_cast<std::size_t>(s)].boundary_arcs =
+        boundary[static_cast<std::size_t>(s)];
+    p.boundary_arcs_ += boundary[static_cast<std::size_t>(s)];
+  }
+  return p;
+}
+
+std::vector<std::int64_t> PartitionedCSR::bfs_distances(vid_t source) const {
+  const vid_t n = n_;
+  SNAP_ASSERT(source >= 0 && source < n, "bfs_distances: source ", source,
+              " out of [0, ", n, ")");
+  const int k = num_shards();
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), -1);
+
+  const vid_t src_new = old_to_new_[static_cast<std::size_t>(source)];
+  dist[static_cast<std::size_t>(src_new)] = 0;
+  std::vector<std::vector<vid_t>> frontier(static_cast<std::size_t>(k));
+  frontier[static_cast<std::size_t>(owner(src_new))].push_back(src_new);
+
+  std::int64_t level = 0;
+  bool any = true;
+  // Outboxes: box(s -> t) holds new-ids shard s discovered in shard t this
+  // level; owners drain their column after the barrier.
+  std::vector<std::vector<vid_t>> box(static_cast<std::size_t>(k) *
+                                      static_cast<std::size_t>(k));
+  while (any) {
+    std::vector<std::vector<vid_t>> next(static_cast<std::size_t>(k));
+    // Phase 1: owner-computes expansion; local claims write owned dist
+    // entries only, remote candidates are batched per target shard.
+    for_each_shard(k, [&](int s) {
+      const Shard& sh = shards_[static_cast<std::size_t>(s)];
+      auto& local_next = next[static_cast<std::size_t>(s)];
+      for (const vid_t u : frontier[static_cast<std::size_t>(s)]) {
+        const vid_t li = u - sh.first;
+        const eid_t lo = sh.offsets[static_cast<std::size_t>(li)];
+        const eid_t hi = sh.offsets[static_cast<std::size_t>(li) + 1];
+        for (eid_t a = lo; a < hi; ++a) {
+          const vid_t w = sh.adj[static_cast<std::size_t>(a)];
+          const int t = owner(w);
+          if (t == s) {
+            if (dist[static_cast<std::size_t>(w)] == -1) {
+              dist[static_cast<std::size_t>(w)] = level + 1;
+              local_next.push_back(w);
+            }
+          } else {
+            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(t)]
+                .push_back(w);
+          }
+        }
+      }
+    });
+    // Phase 2 (after the fork/join barrier): owners drain their inboxes in
+    // sender order — deterministic — claiming still-unreached vertices.
+    for_each_shard(k, [&](int t) {
+      auto& local_next = next[static_cast<std::size_t>(t)];
+      for (int s = 0; s < k; ++s) {
+        auto& inbox =
+            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(t)];
+        for (const vid_t w : inbox) {
+          if (dist[static_cast<std::size_t>(w)] == -1) {
+            dist[static_cast<std::size_t>(w)] = level + 1;
+            local_next.push_back(w);
+          }
+        }
+        inbox.clear();
+      }
+    });
+    any = false;
+    for (int s = 0; s < k; ++s)
+      any |= !next[static_cast<std::size_t>(s)].empty();
+    frontier.swap(next);
+    if (any) ++level;
+  }
+
+  // Back to original ids.
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  parallel::parallel_for(n, [&](vid_t v) {
+    out[static_cast<std::size_t>(v)] =
+        dist[static_cast<std::size_t>(old_to_new_[static_cast<std::size_t>(v)])];
+  });
+  return out;
+}
+
+Components PartitionedCSR::components() const {
+  const vid_t n = n_;
+  const int k = num_shards();
+  Components out;
+  if (n == 0) return out;
+
+  // Per-shard union–find over intra-shard arcs (built once, local indices).
+  // label[u] (new-id space) then tracks the minimum new id known reachable
+  // from u's local class; boundary rounds push labels across shards.
+  std::vector<std::vector<vid_t>> uf_parent(static_cast<std::size_t>(k));
+  for_each_shard(k, [&](int s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    auto& uf = uf_parent[static_cast<std::size_t>(s)];
+    uf.resize(static_cast<std::size_t>(sh.owned()));
+    std::iota(uf.begin(), uf.end(), vid_t{0});
+    auto find = [&](vid_t x) {
+      while (uf[static_cast<std::size_t>(x)] != x) {
+        uf[static_cast<std::size_t>(x)] =
+            uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+        x = uf[static_cast<std::size_t>(x)];
+      }
+      return x;
+    };
+    for (vid_t i = 0; i < sh.owned(); ++i) {
+      const eid_t lo = sh.offsets[static_cast<std::size_t>(i)];
+      const eid_t hi = sh.offsets[static_cast<std::size_t>(i) + 1];
+      for (eid_t a = lo; a < hi; ++a) {
+        const vid_t w = sh.adj[static_cast<std::size_t>(a)];
+        if (owner(w) != s) continue;
+        const vid_t ri = find(i);
+        const vid_t rw = find(w - sh.first);
+        if (ri != rw) uf[static_cast<std::size_t>(std::max(ri, rw))] =
+            std::min(ri, rw);
+      }
+    }
+    // Path-compress fully so find below is a single hop.
+    for (vid_t i = 0; i < sh.owned(); ++i)
+      uf[static_cast<std::size_t>(i)] = find(i);
+  });
+
+  // class_min: per local root, the minimum global new id in the class.
+  std::vector<vid_t> label(static_cast<std::size_t>(n));
+  for_each_shard(k, [&](int s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    const auto& uf = uf_parent[static_cast<std::size_t>(s)];
+    for (vid_t i = 0; i < sh.owned(); ++i) {
+      const vid_t root = uf[static_cast<std::size_t>(i)];
+      // Roots have the smallest local index of their class (unions always
+      // point the larger root at the smaller), so root's global id is the
+      // class minimum.
+      label[static_cast<std::size_t>(sh.first + i)] = sh.first + root;
+    }
+  });
+
+  // Boundary rounds: push my label along every cross-shard arc; owners
+  // fold candidate minima into the target's class and re-broadcast within
+  // the shard.  Quiescence = global fixed point (min label per component).
+  using Candidate = std::pair<vid_t, vid_t>;  // (target new-id, label)
+  std::vector<std::vector<Candidate>> box(static_cast<std::size_t>(k) *
+                                          static_cast<std::size_t>(k));
+  std::vector<std::uint8_t> changed(static_cast<std::size_t>(k), 1);
+  bool any = true;
+  while (any) {
+    for_each_shard(k, [&](int s) {
+      const Shard& sh = shards_[static_cast<std::size_t>(s)];
+      for (vid_t i = 0; i < sh.owned(); ++i) {
+        const vid_t u = sh.first + i;
+        const eid_t lo = sh.offsets[static_cast<std::size_t>(i)];
+        const eid_t hi = sh.offsets[static_cast<std::size_t>(i) + 1];
+        for (eid_t a = lo; a < hi; ++a) {
+          const vid_t w = sh.adj[static_cast<std::size_t>(a)];
+          const int t = owner(w);
+          if (t != s)
+            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(t)]
+                .emplace_back(w, label[static_cast<std::size_t>(u)]);
+        }
+      }
+    });
+    for_each_shard(k, [&](int t) {
+      const Shard& sh = shards_[static_cast<std::size_t>(t)];
+      auto& uf = uf_parent[static_cast<std::size_t>(t)];
+      bool delta = false;
+      for (int s = 0; s < k; ++s) {
+        auto& inbox =
+            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(t)];
+        for (const auto& [w, cand] : inbox) {
+          const vid_t root = uf[static_cast<std::size_t>(w - sh.first)];
+          auto& cur = label[static_cast<std::size_t>(sh.first + root)];
+          if (cand < cur) {
+            cur = cand;
+            delta = true;
+          }
+        }
+        inbox.clear();
+      }
+      // Re-broadcast the class label to every member.
+      for (vid_t i = 0; i < sh.owned(); ++i) {
+        const vid_t root = uf[static_cast<std::size_t>(i)];
+        label[static_cast<std::size_t>(sh.first + i)] =
+            label[static_cast<std::size_t>(sh.first + root)];
+      }
+      changed[static_cast<std::size_t>(t)] = delta ? 1 : 0;
+    });
+    any = false;
+    for (int s = 0; s < k; ++s) any |= (changed[static_cast<std::size_t>(s)] != 0);
+  }
+
+  // Densify in original-id order (matches the flat kernel's convention).
+  out.label.resize(static_cast<std::size_t>(n));
+  std::vector<vid_t> dense(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t next_id = 0;
+  for (vid_t old = 0; old < n; ++old) {
+    const vid_t root =
+        label[static_cast<std::size_t>(old_to_new_[static_cast<std::size_t>(old)])];
+    if (dense[static_cast<std::size_t>(root)] == kInvalidVid)
+      dense[static_cast<std::size_t>(root)] = next_id++;
+    out.label[static_cast<std::size_t>(old)] =
+        dense[static_cast<std::size_t>(root)];
+  }
+  out.count = next_id;
+  return out;
+}
+
+std::vector<eid_t> PartitionedCSR::degrees() const {
+  std::vector<eid_t> out(static_cast<std::size_t>(n_));
+  const int k = num_shards();
+  for_each_shard(k, [&](int s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    for (vid_t i = 0; i < sh.owned(); ++i) {
+      const vid_t old =
+          new_to_old_[static_cast<std::size_t>(sh.first + i)];
+      out[static_cast<std::size_t>(old)] =
+          sh.offsets[static_cast<std::size_t>(i) + 1] -
+          sh.offsets[static_cast<std::size_t>(i)];
+    }
+  });
+  return out;
+}
+
+}  // namespace snap

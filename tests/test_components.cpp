@@ -117,6 +117,33 @@ TEST(Components, DirectedTreatedAsWeak) {
   EXPECT_EQ(connected_components(g).count, 1);
 }
 
+TEST(ComponentsBfs, LabelsIdenticalToShiloachVishkin) {
+  // The BFS-sweep engine promises *exactly* the same labels as the SV
+  // engine (both densify by first appearance in vertex order), on every
+  // undirected shape: small-world, disconnected, sparse, degenerate.
+  std::vector<CSRGraph> shapes;
+  {
+    gen::RmatParams p;
+    p.scale = 11;
+    p.edge_factor = 8;
+    p.seed = 9;
+    shapes.push_back(gen::rmat(p));
+  }
+  shapes.push_back(gen::planted_partition(900, 9, 8.0, 0.0, 11));  // many CCs
+  shapes.push_back(gen::grid_road(30, 40, 0.05, 0.05, 12));
+  shapes.push_back(gen::star_graph(500));
+  shapes.push_back(gen::path_graph(64));
+  shapes.push_back(CSRGraph::from_edges(5, {}, /*directed=*/false));  // edgeless
+  shapes.push_back(CSRGraph::from_edges(0, {}, /*directed=*/false));  // empty
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const auto& g = shapes[i];
+    const Components sv = connected_components(g);
+    const Components bfs = connected_components_bfs(g);
+    ASSERT_EQ(bfs.count, sv.count) << "shape " << i;
+    ASSERT_EQ(bfs.label, sv.label) << "shape " << i;
+  }
+}
+
 TEST(Components, LargeRmat) {
   gen::RmatParams p;
   p.scale = 13;

@@ -1,0 +1,220 @@
+// CompressedCSR coverage: the varint/zigzag codec round-trips adversarial
+// values, and — the load-bearing guarantee — decoding replays the source
+// graph's adjacency value for value on every corpus generator family, at
+// every thread count the encode might have run under.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "snap/gen/generators.hpp"
+#include "snap/graph/compressed_csr.hpp"
+#include "snap/graph/csr_graph.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/util/parallel.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap {
+namespace {
+
+// ------------------------------------------------------------ codec level
+
+TEST(VarintCodec, RoundTripsBoundaryValues) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 0x7f,
+                                 0x80,
+                                 0x3fff,
+                                 0x4000,
+                                 (1ULL << 32) - 1,
+                                 1ULL << 32,
+                                 (1ULL << 63) - 1,
+                                 1ULL << 63,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t u : cases) {
+    std::uint8_t buf[10];
+    std::uint8_t* end = detail::varint_write(buf, u);
+    ASSERT_EQ(static_cast<std::size_t>(end - buf), detail::varint_length(u))
+        << u;
+    const std::uint8_t* p = buf;
+    EXPECT_EQ(detail::varint_read(p), u);
+    EXPECT_EQ(p, end) << "read did not consume exactly the written bytes";
+  }
+}
+
+TEST(VarintCodec, FuzzRoundTrip) {
+  SplitMix64 rng(12345);
+  std::uint8_t buf[10];
+  for (int i = 0; i < 200000; ++i) {
+    // Bias towards small values and values near power-of-two boundaries —
+    // the distributions deltas of sorted adjacency actually produce.
+    std::uint64_t u = rng();
+    const int shift = static_cast<int>(rng.next_bounded(64));
+    u >>= shift;
+    std::uint8_t* end = detail::varint_write(buf, u);
+    const std::uint8_t* p = buf;
+    ASSERT_EQ(detail::varint_read(p), u);
+    ASSERT_EQ(p, end);
+  }
+}
+
+TEST(VarintCodec, ZigzagRoundTripsSignedDeltas) {
+  const std::int64_t cases[] = {0,
+                                1,
+                                -1,
+                                63,
+                                -64,
+                                64,
+                                -65,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t x : cases) {
+    EXPECT_EQ(detail::zigzag_decode(detail::zigzag_encode(x)), x) << x;
+    // Small magnitudes must stay small: that is the whole point.
+    if (x >= -64 && x < 64) {
+      EXPECT_EQ(detail::varint_length(detail::zigzag_encode(x)), 1u) << x;
+    }
+  }
+  SplitMix64 rng(777);
+  for (int i = 0; i < 100000; ++i) {
+    const auto x = static_cast<std::int64_t>(rng());
+    ASSERT_EQ(detail::zigzag_decode(detail::zigzag_encode(x)), x);
+  }
+}
+
+// ------------------------------------------------------ graph-level decode
+
+void expect_decodes_identically(const CSRGraph& g, const std::string& what) {
+  const CompressedCSR c = CompressedCSR::from_graph(g);
+  ASSERT_EQ(c.num_vertices(), g.num_vertices()) << what;
+  ASSERT_EQ(c.num_arcs(), g.num_arcs()) << what;
+  std::vector<vid_t> decoded;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto expected = g.neighbors(v);
+    ASSERT_EQ(c.degree(v), static_cast<eid_t>(expected.size()))
+        << what << " vertex " << v;
+    c.decode_neighbors(v, decoded);
+    ASSERT_EQ(decoded.size(), expected.size()) << what << " vertex " << v;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(decoded[i], expected[i])
+          << what << " vertex " << v << " slot " << i;
+    // The block cursor must replay the same values in the same order.
+    auto cursor = c.neighbors(v);
+    std::size_t at = 0;
+    for (auto block = cursor.next(); !block.empty(); block = cursor.next())
+      for (const vid_t w : block) ASSERT_EQ(w, expected[at++]) << what;
+    ASSERT_EQ(at, expected.size()) << what << " vertex " << v;
+  }
+}
+
+std::vector<std::pair<std::string, CSRGraph>> generator_corpus() {
+  std::vector<std::pair<std::string, CSRGraph>> out;
+  gen::RmatParams rp;
+  rp.scale = 11;
+  rp.edge_factor = 8;
+  rp.seed = 5;
+  out.emplace_back("rmat", gen::rmat(rp));
+  out.emplace_back("erdos_renyi", gen::erdos_renyi(3000, 15000, false, 6));
+  out.emplace_back("grid_road", gen::grid_road(50, 60, 0.05, 0.05, 7));
+  out.emplace_back("watts_strogatz", gen::watts_strogatz(2000, 8, 0.1, 8));
+  out.emplace_back("planted_partition",
+                   gen::planted_partition(2500, 25, 8.0, 2.0, 9));
+  out.emplace_back("barabasi_albert", gen::barabasi_albert(2000, 4, 10));
+  // Adversarial degree shapes: one huge row, all-tiny rows, empty rows.
+  out.emplace_back("star", gen::star_graph(5000));
+  out.emplace_back("path", gen::path_graph(1000));
+  out.emplace_back("isolated",
+                   CSRGraph::from_edges(100, {{0, 99, 1.0}}, false));
+  out.emplace_back("empty", CSRGraph::from_edges(50, {}, false));
+  // Directed: asymmetric adjacency, including back-edges (negative deltas
+  // after the first neighbor never happen on sorted rows, but the first
+  // delta w - v is frequently negative).
+  out.emplace_back("rmat_directed", [] {
+    gen::RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 6;
+    p.directed = true;
+    p.seed = 11;
+    return gen::rmat(p);
+  }());
+  return out;
+}
+
+TEST(CompressedCSR, DecodesIdenticallyOnAllGeneratorsAndThreadCounts) {
+  for (const auto& [name, g] : generator_corpus()) {
+    for (const int t : {1, 2, 4, 8}) {
+      parallel::ThreadScope scope(t);
+      expect_decodes_identically(g, name + " @t=" + std::to_string(t));
+    }
+  }
+}
+
+TEST(CompressedCSR, EncodeIsByteIdenticalAcrossThreadCounts) {
+  gen::RmatParams rp;
+  rp.scale = 12;
+  rp.edge_factor = 8;
+  rp.seed = 13;
+  const CSRGraph g = gen::rmat(rp);
+  std::vector<std::uint8_t> reference;
+  for (const int t : {1, 2, 4, 8}) {
+    parallel::ThreadScope scope(t);
+    const CompressedCSR c = CompressedCSR::from_graph(g);
+    const std::vector<std::uint8_t> bytes(c.bytes().begin(),
+                                          c.bytes().end());
+    if (t == 1)
+      reference = bytes;
+    else
+      ASSERT_EQ(bytes, reference) << "threads=" << t;
+  }
+}
+
+TEST(CompressedCSR, CompressesSortedSmallWorldAdjacency) {
+  gen::RmatParams rp;
+  rp.scale = 12;
+  rp.edge_factor = 8;
+  rp.seed = 17;
+  const CSRGraph g = gen::rmat(rp);
+  const CompressedCSR c = CompressedCSR::from_graph(g);
+  // Sorted neighbor lists delta-encode well below the flat 8 bytes/arc.
+  EXPECT_LT(c.byte_size(),
+            static_cast<std::size_t>(g.num_arcs()) * sizeof(vid_t) / 2);
+}
+
+TEST(CompressedCSR, BfsMatchesSerialReference) {
+  for (const auto& [name, g] : {std::pair<std::string, CSRGraph>{
+                                    "rmat",
+                                    [] {
+                                      gen::RmatParams p;
+                                      p.scale = 11;
+                                      p.edge_factor = 8;
+                                      p.seed = 23;
+                                      return gen::rmat(p);
+                                    }()},
+                                {"grid", gen::grid_road(40, 40, 0.05, 0.05,
+                                                        24)}}) {
+    const CompressedCSR c = CompressedCSR::from_graph(g);
+    const BFSResult ref = bfs_serial(g, 0);
+    for (const int t : {1, 2, 4, 8}) {
+      parallel::ThreadScope scope(t);
+      const BFSResult got = bfs_compressed(c, 0);
+      ASSERT_EQ(got.dist, ref.dist) << name << " threads=" << t;
+      EXPECT_EQ(got.num_visited, ref.num_visited) << name;
+      EXPECT_EQ(got.num_levels, ref.num_levels) << name;
+      // Parents form a valid BFS tree: parent's distance is one less.
+      for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (got.dist[static_cast<std::size_t>(v)] <= 0) continue;
+        const vid_t p = got.parent[static_cast<std::size_t>(v)];
+        ASSERT_NE(p, kInvalidVid) << name << " vertex " << v;
+        EXPECT_EQ(got.dist[static_cast<std::size_t>(p)],
+                  got.dist[static_cast<std::size_t>(v)] - 1)
+            << name << " vertex " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snap

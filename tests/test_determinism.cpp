@@ -16,8 +16,11 @@
 #include "snap/debug/determinism.hpp"
 #include "snap/debug/validate.hpp"
 #include "snap/gen/generators.hpp"
+#include "snap/graph/compressed_csr.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/graph/dynamic_graph.hpp"
+#include "snap/graph/reorder.hpp"
+#include "snap/partition/partitioned_csr.hpp"
 #include "snap/kernels/bfs.hpp"
 #include "snap/kernels/connected_components.hpp"
 #include "snap/kernels/kcore.hpp"
@@ -292,6 +295,62 @@ TEST(Determinism, BrandesWeightedOnTree) {
     const BetweennessScores bc = weighted_betweenness_centrality(g);
     h.sequence(bc.vertex);
     h.sequence(bc.edge);
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+// ------------------------------------------------- memory-layout pre-passes
+
+TEST(Determinism, ReorderPermutationsAndGraphs) {
+  // All three locality orderings sort with total-order comparators and apply
+  // the permutation in parallel; both the permutation and the rebuilt CSR
+  // must be byte-identical at every thread count.
+  const CSRGraph g = rmat_graph(13, 8, 19);
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    for (const ReorderedGraph& r :
+         {relabel_by_degree(g), relabel_by_bfs(g, 0),
+          relabel_by_hub_cluster(g)}) {
+      h.sequence(r.new_to_old);
+      hash_csr(h, r.graph);
+    }
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+TEST(Determinism, CompressedCsrEncodeBytes) {
+  // Two-pass parallel encode into precomputed disjoint slices: the whole
+  // compressed buffer (offsets and bytes) is a pure function of the graph.
+  const CSRGraph g = rmat_graph(13, 8, 29);
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    const CompressedCSR c = CompressedCSR::from_graph(g);
+    h.sequence(c.byte_offsets());
+    h.sequence(c.bytes());
+  });
+  ASSERT_TRUE(report.deterministic) << report.to_string();
+}
+
+TEST(Determinism, PartitionedCsrBuildAndKernels) {
+  // Pinned to the contiguous cut (use_partitioner = false): the multilevel
+  // partitioner's cross-thread invariance is not yet a stated guarantee, the
+  // sharded layout and owner-computes kernels' is.  Shard count is pinned
+  // too — the layout is k-dependent by design.
+  const CSRGraph g = rmat_graph(12, 8, 37);
+  PartitionedCSROptions opts;
+  opts.num_shards = 4;
+  opts.use_partitioner = false;
+  const auto report = debug::check_determinism([&](debug::ByteHasher& h) {
+    const PartitionedCSR p = PartitionedCSR::build(g, opts);
+    h.value(p.boundary_arcs());
+    h.sequence(p.new_to_old());
+    for (int s = 0; s < p.num_shards(); ++s) {
+      h.sequence(p.shard(s).offsets);
+      h.sequence(p.shard(s).adj);
+    }
+    h.sequence(p.bfs_distances(0));
+    const Components c = p.components();
+    h.value(c.count);
+    h.sequence(canonical_labels(c.label));
+    h.sequence(p.degrees());
   });
   ASSERT_TRUE(report.deterministic) << report.to_string();
 }

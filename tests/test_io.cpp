@@ -286,6 +286,111 @@ TEST_F(IoTest, EmptyGraphRoundtrips) {
   EXPECT_EQ(back.num_edges(), 0);
 }
 
+// ------------------------------------------- binary v2 format specifics
+
+TEST_F(IoTest, BinaryV2PreservesWeightsAndEdgeIds) {
+  EdgeList edges{{0, 2, 3.5}, {1, 2, 0.25}, {0, 1, -1.0}};
+  const auto g = CSRGraph::from_edges(4, edges, false);
+  const auto p = track(path("v2w.bin"));
+  io::write_binary(g, p);
+  const auto back = io::read_binary(p);
+  expect_same_graph(g, back);
+  EXPECT_TRUE(back.weighted());
+  EXPECT_DOUBLE_EQ(back.total_edge_weight(), g.total_edge_weight());
+  // Edge ids and per-arc weights survive the raw-array round trip.
+  ASSERT_EQ(back.edges().size(), g.edges().size());
+  for (std::size_t e = 0; e < g.edges().size(); ++e) {
+    EXPECT_EQ(back.edges()[e].u, g.edges()[e].u);
+    EXPECT_EQ(back.edges()[e].v, g.edges()[e].v);
+    EXPECT_DOUBLE_EQ(back.edges()[e].w, g.edges()[e].w);
+  }
+}
+
+TEST_F(IoTest, BinaryV2ChecksumCorruptionRejected) {
+  gen::RmatParams rp;
+  rp.scale = 8;
+  rp.edge_factor = 8;
+  const auto g = gen::rmat(rp);
+  const auto p = track(path("corrupt.bin"));
+  io::write_binary(g, p);
+  {
+    // Flip one payload byte past the 48-byte v2 header.
+    std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(48 + 100);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(48 + 100);
+    c = static_cast<char>(c ^ 0x40);
+    f.write(&c, 1);
+  }
+  try {
+    io::read_binary(p);
+    FAIL() << "corrupted file was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, BinaryV2FutureVersionRejected) {
+  const auto g = gen::path_graph(5);
+  const auto p = track(path("future.bin"));
+  io::write_binary(g, p);
+  {
+    // Bump the version field (bytes 8..11 of the header).
+    std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint32_t future = 99;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  try {
+    io::read_binary(p);
+    FAIL() << "future-version file was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, BinaryLegacyV1StillReads) {
+  // Hand-crafted SNAPB1 bytes: 32-byte header {magic, n, m, directed, pad}
+  // followed by m {i64 u, i64 v, f64 w} records — the exact layout every
+  // pre-v2 snapshot on disk has.
+  const auto p = track(path("legacy.bin"));
+  {
+    std::ofstream out(p, std::ios::binary);
+    const char magic[8] = {'S', 'N', 'A', 'P', 'B', '1', '\n', '\0'};
+    out.write(magic, 8);
+    const std::int64_t n = 3, m = 2;
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&m), 8);
+    const char directed_and_pad[8] = {0};
+    out.write(directed_and_pad, 8);
+    const std::int64_t e0[2] = {0, 1}, e1[2] = {1, 2};
+    const double w0 = 1.0, w1 = 2.5;
+    out.write(reinterpret_cast<const char*>(e0), 16);
+    out.write(reinterpret_cast<const char*>(&w0), 8);
+    out.write(reinterpret_cast<const char*>(e1), 16);
+    out.write(reinterpret_cast<const char*>(&w1), 8);
+  }
+  const auto g = io::read_binary(p);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FALSE(g.directed());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.5);
+}
+
+TEST_F(IoTest, BinaryV2EmptyAndEdgelessGraphs) {
+  const auto g = CSRGraph::from_edges(9, {}, false);
+  const auto p = track(path("v2empty.bin"));
+  io::write_binary(g, p);
+  const auto back = io::read_binary(p);
+  EXPECT_EQ(back.num_vertices(), 9);
+  EXPECT_EQ(back.num_edges(), 0);
+}
+
 TEST_F(IoTest, LargeIdsSurviveAllFormats) {
   // Sparse ids near the top of the declared range.
   EdgeList edges{{99998, 99999, 2.0}, {0, 99999, 1.0}};

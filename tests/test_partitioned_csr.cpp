@@ -1,0 +1,207 @@
+// PartitionedCSR differential suite: whatever the shard count and however
+// the cut was produced (contiguous chunks or the multilevel partitioner),
+// the sharded layout must describe exactly the input graph and the
+// owner-computes kernels must agree with the flat engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "snap/gen/generators.hpp"
+#include "snap/graph/csr_graph.hpp"
+#include "snap/graph/reorder.hpp"
+#include "snap/kernels/bfs.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/partition/partitioned_csr.hpp"
+#include "snap/util/parallel.hpp"
+
+namespace snap {
+namespace {
+
+CSRGraph test_graph() {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 31;
+  return gen::rmat(p);
+}
+
+void expect_layout_consistent(const CSRGraph& g, const PartitionedCSR& p) {
+  ASSERT_EQ(p.num_vertices(), g.num_vertices());
+  ASSERT_EQ(p.num_arcs(), g.num_arcs());
+  // Shard ranges tile [0, n) and shard_of agrees with them.
+  vid_t covered = 0;
+  eid_t arcs = 0, boundary = 0;
+  for (int s = 0; s < p.num_shards(); ++s) {
+    const auto& sh = p.shard(s);
+    ASSERT_EQ(sh.first, covered);
+    ASSERT_LE(sh.first, sh.last);
+    covered = sh.last;
+    arcs += sh.offsets.back();
+    boundary += sh.boundary_arcs;
+    for (vid_t u = sh.first; u < sh.last; ++u) ASSERT_EQ(p.owner(u), s);
+  }
+  ASSERT_EQ(covered, g.num_vertices());
+  ASSERT_EQ(arcs, g.num_arcs());
+  ASSERT_EQ(boundary, p.boundary_arcs());
+  // Every shard row is the old vertex's neighbor multiset mapped to new ids.
+  for (int s = 0; s < p.num_shards(); ++s) {
+    const auto& sh = p.shard(s);
+    for (vid_t u = sh.first; u < sh.last; ++u) {
+      const vid_t old = p.new_to_old()[static_cast<std::size_t>(u)];
+      const auto nb = g.neighbors(old);
+      const vid_t li = u - sh.first;
+      const eid_t lo = sh.offsets[static_cast<std::size_t>(li)];
+      const eid_t hi = sh.offsets[static_cast<std::size_t>(li) + 1];
+      ASSERT_EQ(hi - lo, static_cast<eid_t>(nb.size()));
+      std::vector<vid_t> expected;
+      for (const vid_t w : nb)
+        expected.push_back(p.old_to_new()[static_cast<std::size_t>(w)]);
+      std::sort(expected.begin(), expected.end());
+      for (eid_t a = lo; a < hi; ++a)
+        ASSERT_EQ(sh.adj[static_cast<std::size_t>(a)],
+                  expected[static_cast<std::size_t>(a - lo)]);
+    }
+  }
+}
+
+void expect_kernels_match_flat(const CSRGraph& g, const PartitionedCSR& p,
+                               const std::string& what) {
+  // Degrees.
+  const std::vector<eid_t> deg = p.degrees();
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(deg[static_cast<std::size_t>(v)], g.degree(v)) << what;
+
+  // BFS distances from several sources, including an isolated-ish tail id.
+  for (const vid_t s : {vid_t{0}, g.num_vertices() / 2,
+                        g.num_vertices() - 1}) {
+    const BFSResult ref = bfs_serial(g, s);
+    const std::vector<std::int64_t> got = p.bfs_distances(s);
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(got[static_cast<std::size_t>(v)],
+                ref.dist[static_cast<std::size_t>(v)])
+          << what << " source " << s << " vertex " << v;
+  }
+
+  // Components: same partition (bijective label correspondence), same count.
+  const Components ref = connected_components(g);
+  const Components got = p.components();
+  ASSERT_EQ(got.count, ref.count) << what;
+  ASSERT_EQ(got.label.size(), ref.label.size()) << what;
+  std::map<vid_t, vid_t> fwd, bwd;
+  for (std::size_t v = 0; v < ref.label.size(); ++v) {
+    const vid_t a = ref.label[v], b = got.label[v];
+    const auto [fit, fnew] = fwd.emplace(a, b);
+    ASSERT_EQ(fit->second, b) << what << " vertex " << v;
+    const auto [bit, bnew] = bwd.emplace(b, a);
+    ASSERT_EQ(bit->second, a) << what << " vertex " << v;
+  }
+}
+
+TEST(PartitionedCSR, ContiguousCutMatchesFlatEngines) {
+  const CSRGraph g = test_graph();
+  for (const int k : {1, 2, 4, 7}) {
+    PartitionedCSROptions opts;
+    opts.num_shards = k;
+    opts.use_partitioner = false;
+    const PartitionedCSR p = PartitionedCSR::build(g, opts);
+    ASSERT_EQ(p.num_shards(), k);
+    expect_layout_consistent(g, p);
+    expect_kernels_match_flat(g, p, "contiguous k=" + std::to_string(k));
+  }
+}
+
+TEST(PartitionedCSR, MultilevelCutMatchesFlatEngines) {
+  const CSRGraph g = test_graph();
+  PartitionedCSROptions opts;
+  opts.num_shards = 4;
+  opts.use_partitioner = true;
+  const PartitionedCSR p = PartitionedCSR::build(g, opts);
+  expect_layout_consistent(g, p);
+  expect_kernels_match_flat(g, p, "multilevel k=4");
+  EXPECT_LT(p.boundary_arcs(), p.num_arcs());
+}
+
+TEST(PartitionedCSR, MultilevelCutBeatsBlindCutOnPlantedPartition) {
+  // On a graph with genuine cluster structure the multilevel partitioner
+  // must find a cut with fewer boundary arcs than blind contiguous chunks.
+  // (On small-world R-MAT no good cut exists and either can win — that is
+  // why this claim is pinned to a planted-partition instance.)  The planted
+  // generator lays communities out in contiguous id ranges — which is
+  // exactly the blind cut — so scramble the ids first to make the
+  // partitioner actually find the structure.
+  const CSRGraph planted = gen::planted_partition(2000, 4, 10.0, 0.5, 47);
+  std::vector<vid_t> perm(static_cast<std::size_t>(planted.num_vertices()));
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    perm[i] = static_cast<vid_t>((i * 997) % perm.size());  // 997 coprime
+  const CSRGraph g = relabel(planted, perm).graph;
+  PartitionedCSROptions opts;
+  opts.num_shards = 4;
+  opts.use_partitioner = true;
+  const PartitionedCSR p = PartitionedCSR::build(g, opts);
+  PartitionedCSROptions blind = opts;
+  blind.use_partitioner = false;
+  const PartitionedCSR q = PartitionedCSR::build(g, blind);
+  EXPECT_LT(p.boundary_arcs(), q.boundary_arcs());
+  expect_kernels_match_flat(g, p, "planted multilevel");
+}
+
+TEST(PartitionedCSR, DisconnectedGraphComponents) {
+  // Pure planted partition with zero inter-community edges: many components,
+  // and every cross-shard exchange round must still converge.
+  const CSRGraph g = gen::planted_partition(1200, 12, 8.0, 0.0, 41);
+  PartitionedCSROptions opts;
+  opts.num_shards = 5;
+  opts.use_partitioner = false;
+  const PartitionedCSR p = PartitionedCSR::build(g, opts);
+  expect_kernels_match_flat(g, p, "disconnected");
+}
+
+TEST(PartitionedCSR, GridGraphHighDiameter) {
+  // High-diameter near-planar instance: many BFS levels, so the batched
+  // boundary exchange runs many rounds.
+  const CSRGraph g = gen::grid_road(40, 50, 0.05, 0.05, 43);
+  PartitionedCSROptions opts;
+  opts.num_shards = 4;
+  const PartitionedCSR p = PartitionedCSR::build(g, opts);
+  expect_layout_consistent(g, p);
+  expect_kernels_match_flat(g, p, "grid");
+}
+
+TEST(PartitionedCSR, ThreadCountInvariance) {
+  // Same shard count, different thread counts: layout and kernel results
+  // must not depend on how many threads materialized them.
+  const CSRGraph g = test_graph();
+  PartitionedCSROptions opts;
+  opts.num_shards = 4;
+  opts.use_partitioner = false;
+  std::vector<std::int64_t> ref_dist;
+  std::vector<vid_t> ref_order;
+  for (const int t : {1, 2, 4, 8}) {
+    parallel::ThreadScope scope(t);
+    const PartitionedCSR p = PartitionedCSR::build(g, opts);
+    const std::vector<std::int64_t> dist = p.bfs_distances(0);
+    if (t == 1) {
+      ref_dist = dist;
+      ref_order = p.new_to_old();
+    } else {
+      ASSERT_EQ(p.new_to_old(), ref_order) << "threads=" << t;
+      ASSERT_EQ(dist, ref_dist) << "threads=" << t;
+    }
+  }
+}
+
+TEST(PartitionedCSR, SingleShardDegenerate) {
+  const CSRGraph g = gen::path_graph(64);
+  PartitionedCSROptions opts;
+  opts.num_shards = 1;
+  const PartitionedCSR p = PartitionedCSR::build(g, opts);
+  ASSERT_EQ(p.num_shards(), 1);
+  EXPECT_EQ(p.boundary_arcs(), 0);
+  expect_kernels_match_flat(g, p, "single shard");
+}
+
+}  // namespace
+}  // namespace snap

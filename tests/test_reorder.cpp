@@ -141,5 +141,82 @@ TEST(Reorder, RejectsNonPermutations) {
   EXPECT_THROW(relabel(g, {0, 1, 2, 7}), std::invalid_argument);
 }
 
+TEST(Reorder, IsolatedVerticesSurviveEveryOrdering) {
+  // Vertices 5..9 have no edges at all; every ordering must still place
+  // them (bijectively) and keep their degree 0.
+  const CSRGraph g = CSRGraph::from_edges(
+      10, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}}, false);
+  for (const ReorderedGraph& r :
+       {relabel_by_degree(g), relabel_by_bfs(g, 0),
+        relabel_by_hub_cluster(g)}) {
+    ASSERT_EQ(r.graph.num_vertices(), 10);
+    ASSERT_EQ(r.graph.num_edges(), 4);
+    std::vector<bool> seen(10, false);
+    for (const vid_t old : r.new_to_old) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(old)]);
+      seen[static_cast<std::size_t>(old)] = true;
+    }
+    for (vid_t old = 5; old < 10; ++old)
+      EXPECT_EQ(r.graph.degree(r.old_to_new[static_cast<std::size_t>(old)]),
+                0);
+  }
+}
+
+TEST(Reorder, SelfLoopsAndEdgeCountPreserved) {
+  // relabel must preserve the edge multiset exactly: the self loop at 2 and
+  // both parallel-ish edges survive with their weights.
+  EdgeList edges{{0, 1, 1.0}, {2, 2, 5.0}, {1, 2, 2.0}};
+  const CSRGraph g = CSRGraph::from_edges(
+      3, edges, false, BuildOptions{.remove_self_loops = false});
+  ASSERT_EQ(g.num_edges(), 3);
+  const ReorderedGraph r = relabel(g, {2, 0, 1});
+  EXPECT_EQ(r.graph.num_edges(), 3);
+  const vid_t two = r.old_to_new[2];
+  EXPECT_TRUE(r.graph.has_edge(two, two)) << "self loop dropped";
+  EXPECT_DOUBLE_EQ(r.graph.total_edge_weight(), g.total_edge_weight());
+}
+
+TEST(Reorder, PermutationRoundTripIsIdentity) {
+  const CSRGraph g = test_graph();
+  for (const ReorderedGraph& r :
+       {relabel_by_degree(g), relabel_by_bfs(g, 3),
+        relabel_by_hub_cluster(g)}) {
+    // old_to_new ∘ new_to_old = id and relabeling back by old_to_new (as a
+    // new_to_old permutation... i.e. applying the inverse) restores the
+    // original adjacency structure.
+    for (vid_t i = 0; i < g.num_vertices(); ++i)
+      ASSERT_EQ(r.old_to_new[static_cast<std::size_t>(
+                    r.new_to_old[static_cast<std::size_t>(i)])],
+                i);
+    const ReorderedGraph back = relabel(r.graph, r.old_to_new);
+    ASSERT_EQ(back.graph.num_edges(), g.num_edges());
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      const auto a = g.neighbors(v);
+      const auto b = back.graph.neighbors(v);
+      ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+      for (std::size_t j = 0; j < a.size(); ++j)
+        EXPECT_EQ(a[j], b[j]) << "vertex " << v << " slot " << j;
+    }
+  }
+}
+
+TEST(Reorder, HubClusterFrontBlockIsHighestDegree) {
+  const CSRGraph g = test_graph();
+  HubClusterParams params;
+  params.hub_fraction = 0.05;
+  const ReorderedGraph r = relabel_by_hub_cluster(g, params);
+  const auto hubs = static_cast<vid_t>(
+      std::max<double>(1.0, 0.05 * static_cast<double>(g.num_vertices())));
+  // Every vertex in the hub block has degree >= every vertex outside it.
+  eid_t min_hub_degree = g.num_edges();
+  for (vid_t i = 0; i < hubs; ++i)
+    min_hub_degree = std::min(min_hub_degree, r.graph.degree(i));
+  for (vid_t i = hubs; i < g.num_vertices(); ++i)
+    EXPECT_LE(r.graph.degree(i), min_hub_degree) << "vertex " << i;
+  // And the hub block itself is sorted by descending degree.
+  for (vid_t i = 1; i < hubs; ++i)
+    EXPECT_GE(r.graph.degree(i - 1), r.graph.degree(i));
+}
+
 }  // namespace
 }  // namespace snap

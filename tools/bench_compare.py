@@ -1,18 +1,28 @@
 #!/usr/bin/env python3
-"""Compare a bench JSON report against a committed baseline.
+"""Compare bench JSON reports against committed baselines.
 
-Both files are JsonReport output (bench_common.hpp): a JSON array of records
+Two modes:
+
+  single file:   bench_compare.py baselines/BENCH_x.json BENCH_x.json
+  directory:     bench_compare.py bench/baselines .
+
+In directory mode every BENCH_*.json in the baseline directory is compared
+against the file of the same name in the current directory (one invocation
+gates the whole suite); current-side files with no baseline are listed as
+informational.
+
+Files are JsonReport output (bench_common.hpp): a JSON array of records
 keyed by (bench, dataset, phase) — thread count is deliberately not part of
 the key, since the baseline and the CI runner rarely have the same core
-count and a missing key would silence the comparison.  For every key
-present in both,
-the current `seconds` is compared to the baseline; slowdowns beyond the
-threshold are reported as warnings.
+count and a missing key would silence the comparison.  For every key present
+in both, the current `seconds` is compared to the baseline; slowdowns beyond
+the threshold are reported as warnings.
 
 This is a soft gate: it always exits 0 (CI smoke runners are noisy, shared
-machines — a hard fail would flake), but the warnings land in the job log
-and the ::warning:: annotations surface on the PR.  Regenerate the baseline
-with e.g.
+machines — a hard fail would flake), but the warnings land in the job log,
+the ::warning:: annotations surface on the PR, and when GITHUB_STEP_SUMMARY
+is set a markdown comparison table lands on the run's summary page.
+Regenerate a baseline with e.g.
 
     ./build/bench/bench_kernels --smoke --json bench/baselines/BENCH_centrality.json
 
@@ -20,7 +30,9 @@ on a quiet machine when an intentional perf change shifts it.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 
@@ -37,25 +49,24 @@ def load(path):
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", help="committed baseline JSON")
-    ap.add_argument("current", help="freshly measured JSON")
-    ap.add_argument("--threshold", type=float, default=0.20,
-                    help="relative slowdown that triggers a warning "
-                         "(0.20 = 20%%)")
-    args = ap.parse_args()
-
+def compare_one(baseline_path, current_path, threshold, summary_rows):
+    """Compare one baseline/current file pair; returns (compared, warned)."""
     try:
-        base = load(args.baseline)
+        base = load(baseline_path)
     except (OSError, ValueError) as e:
-        print(f"bench_compare: cannot read baseline {args.baseline}: {e}")
+        print(f"bench_compare: cannot read baseline {baseline_path}: {e}")
         print("bench_compare: skipping comparison (no baseline yet)")
-        return 0
-    cur = load(args.current)
+        return 0, 0
+    try:
+        cur = load(current_path)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read current {current_path}: {e}")
+        return 0, 0
 
     warned = 0
     compared = 0
+    name = os.path.basename(baseline_path)
+    print(f"== {name}: {baseline_path} vs {current_path}")
     for k, rec in sorted(cur.items(), key=str):
         ref = base.get(k)
         if ref is None:
@@ -67,15 +78,79 @@ def main():
         compared += 1
         ratio = cur_s / base_s
         marker = ""
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             warned += 1
             marker = "  <-- REGRESSION"
             print(f"::warning title=bench regression::{k}: "
                   f"{base_s:.4f}s -> {cur_s:.4f}s ({ratio:.2f}x)")
         print(f"  {k}: {base_s:.4f}s -> {cur_s:.4f}s ({ratio:.2f}x){marker}")
+        summary_rows.append((name, k, base_s, cur_s, ratio,
+                             ratio > 1.0 + threshold))
     for k in sorted(base.keys() - cur.keys(), key=str):
         print(f"  record missing from current run: {k}")
+    return compared, warned
 
+
+def write_step_summary(summary_rows, compared, warned, threshold):
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not summary_rows:
+        return
+    with open(path, "a") as f:
+        f.write("## Bench comparison\n\n")
+        f.write(f"{compared} records compared, **{warned} regressed** "
+                f"beyond {threshold:.0%}\n\n")
+        f.write("| file | bench | dataset | phase | baseline (s) | "
+                "current (s) | ratio |\n")
+        f.write("|---|---|---|---|---:|---:|---:|\n")
+        for name, k, base_s, cur_s, ratio, regressed in summary_rows:
+            bench, dataset, phase = k
+            flag = " :warning:" if regressed else ""
+            f.write(f"| {name} | {bench} | {dataset} | {phase} | "
+                    f"{base_s:.4f} | {cur_s:.4f} | {ratio:.2f}x{flag} |\n")
+        f.write("\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline JSON file, or a "
+                                     "directory of BENCH_*.json baselines")
+    ap.add_argument("current", help="freshly measured JSON file, or the "
+                                    "directory holding the fresh BENCH_*.json "
+                                    "files")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative slowdown that triggers a warning "
+                         "(0.20 = 20%%)")
+    args = ap.parse_args()
+
+    summary_rows = []
+    compared = warned = 0
+    if os.path.isdir(args.baseline):
+        baselines = sorted(glob.glob(os.path.join(args.baseline,
+                                                  "BENCH_*.json")))
+        if not baselines:
+            print(f"bench_compare: no BENCH_*.json under {args.baseline}")
+            return 0
+        for b in baselines:
+            c = os.path.join(args.current, os.path.basename(b))
+            if not os.path.exists(c):
+                print(f"== {os.path.basename(b)}: no current-run file "
+                      f"({c}), skipped")
+                continue
+            got_c, got_w = compare_one(b, c, args.threshold, summary_rows)
+            compared += got_c
+            warned += got_w
+        extra = sorted(
+            set(os.path.basename(p)
+                for p in glob.glob(os.path.join(args.current,
+                                                "BENCH_*.json"))) -
+            set(os.path.basename(p) for p in baselines))
+        for name in extra:
+            print(f"== {name}: current-run only (no committed baseline)")
+    else:
+        compared, warned = compare_one(args.baseline, args.current,
+                                       args.threshold, summary_rows)
+
+    write_step_summary(summary_rows, compared, warned, args.threshold)
     print(f"bench_compare: {compared} compared, {warned} regressed beyond "
           f"{args.threshold:.0%}")
     return 0
