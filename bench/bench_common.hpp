@@ -23,6 +23,7 @@
 
 #include "snap/gen/generators.hpp"
 #include "snap/graph/csr_graph.hpp"
+#include "snap/util/json.hpp"
 #include "snap/util/rng.hpp"
 
 namespace snapbench {
@@ -151,7 +152,9 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
 /// that future PRs diff against.  Records carry the bench name, dataset,
 /// free-form string params (graph scale, edge counts, ...), the thread
 /// count, a phase label, and seconds; numeric-looking values are emitted as
-/// JSON numbers.
+/// JSON numbers.  Serialization rides on snap/util/json — the same
+/// escape-correct emitter the analytics service answers queries with — so
+/// bench output stays parseable no matter what a dataset label contains.
 class JsonReport {
  public:
   /// `path` empty = disabled (record/write become no-ops).
@@ -164,29 +167,30 @@ class JsonReport {
               const std::string& phase, double seconds,
               double throughput = 0.0) {
     if (path_.empty()) return;
-    std::ostringstream os;
-    os << "  {\"bench\": \"" << bench_ << "\", \"dataset\": \"" << dataset
-       << "\", \"threads\": " << threads << ", \"phase\": \"" << phase
-       << "\", \"seconds\": " << seconds;
-    if (throughput > 0) os << ", \"throughput\": " << throughput;
+    snap::json::Value rec = snap::json::Value::object();
+    rec.set("bench", bench_);
+    rec.set("dataset", dataset);
+    rec.set("threads", threads);
+    rec.set("phase", phase);
+    rec.set("seconds", seconds);
+    if (throughput > 0) rec.set("throughput", throughput);
     for (const auto& [k, v] : params) {
-      os << ", \"" << k << "\": ";
       if (looks_numeric(v))
-        os << v;
+        rec.set(k, std::strtod(v.c_str(), nullptr));
       else
-        os << '"' << v << '"';
+        rec.set(k, v);
     }
-    os << "}";
-    records_.push_back(os.str());
+    records_.push_back(std::move(rec));
   }
 
-  /// Write the accumulated records as a JSON array.
+  /// Write the accumulated records as a JSON array, one record per line.
   void write() const {
     if (path_.empty()) return;
     std::ofstream out(path_);
     out << "[\n";
     for (std::size_t i = 0; i < records_.size(); ++i)
-      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+      out << "  " << records_[i].dump()
+          << (i + 1 < records_.size() ? ",\n" : "\n");
     out << "]\n";
     std::printf("wrote %zu records to %s\n", records_.size(), path_.c_str());
   }
@@ -201,7 +205,7 @@ class JsonReport {
 
   std::string bench_;
   std::string path_;
-  std::vector<std::string> records_;
+  std::vector<snap::json::Value> records_;
 };
 
 inline void print_header(const char* title) {

@@ -1,0 +1,261 @@
+// Analytics-service replay bench: stream a corpus instance's edges through
+// the daemon's POST /ingest over loopback HTTP while reader threads sustain
+// query load, and report ingest edges/s + reader qps.
+//
+//   bench_service [--smoke] [--json out.json] [--corpus NAME]
+//
+// Phases (bench_compare keys):
+//   direct_apply : the same update stream applied straight through
+//                  StreamingGraph::apply with eager snapshots — the
+//                  in-process ceiling the HTTP path is measured against.
+//   replay_0r    : stream POSTed batch-by-batch to /ingest, no readers.
+//   replay_4r    : same, with 4 reader threads hammering cheap queries
+//                  over keep-alive connections.
+//   qps_4r       : the reader-side throughput during replay_4r.
+//
+// The acceptance headline: replay_4r ingest stays within 2x of replay_0r —
+// readers answer from pinned snapshots and must not block the writer.
+// Correctness is asserted, not assumed: after each replay the service's
+// /stats edge count must equal the direct-apply reference graph's.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "corpus.hpp"
+#include "snap/graph/csr_graph.hpp"
+#include "snap/server/http.hpp"
+#include "snap/server/service.hpp"
+#include "snap/stream/streaming_graph.hpp"
+#include "snap/stream/update_batch.hpp"
+#include "snap/util/json.hpp"
+#include "snap/util/rng.hpp"
+#include "snap/util/timer.hpp"
+
+namespace {
+
+using snap::CSRGraph;
+using snap::vid_t;
+using snap::server::GraphService;
+using snap::server::HttpClient;
+using snap::server::HttpResult;
+using snap::server::HttpServer;
+using snapbench::JsonReport;
+
+struct Edge {
+  vid_t u;
+  vid_t v;
+};
+
+/// The replay stream: every logical edge of `g` once, in a seeded shuffle
+/// (so ingest order is not the CSR order the generator produced).
+std::vector<Edge> edge_stream(const CSRGraph& g, std::uint64_t seed) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    for (const vid_t u : g.neighbors(v))
+      if (g.directed() || u <= v) edges.push_back({v, u});
+  snap::SplitMix64 rng(seed);
+  for (std::size_t i = edges.size(); i > 1; --i)
+    std::swap(edges[i - 1], edges[static_cast<std::size_t>(
+                                rng.next_bounded(static_cast<std::uint64_t>(i)))]);
+  return edges;
+}
+
+/// Pre-rendered /ingest bodies, one per batch — body assembly is client
+/// work and stays outside the timed window.
+std::vector<std::string> ingest_bodies(const std::vector<Edge>& edges,
+                                       std::size_t batch_size) {
+  std::vector<std::string> bodies;
+  std::size_t at = 0;
+  while (at < edges.size()) {
+    const std::size_t hi = std::min(at + batch_size, edges.size());
+    snap::json::Value updates = snap::json::Value::array();
+    for (std::size_t i = at; i < hi; ++i) {
+      snap::json::Value rec = snap::json::Value::object();
+      rec.set("op", "insert");
+      rec.set("u", edges[i].u);
+      rec.set("v", edges[i].v);
+      rec.set("time", static_cast<std::int64_t>(i));
+      updates.push_back(rec);
+    }
+    snap::json::Value doc = snap::json::Value::object();
+    doc.set("updates", updates);
+    bodies.push_back(doc.dump());
+    at = hi;
+  }
+  return bodies;
+}
+
+/// In-process ceiling: the same batches through apply(), eager snapshots on
+/// (that is what the service pays per epoch).  Returns seconds; *out gets
+/// the final edge count for the correctness checks.
+double run_direct(vid_t n, const std::vector<Edge>& edges,
+                  std::size_t batch_size, snap::eid_t* final_edges) {
+  snap::stream::StreamingGraph sg(n, /*directed=*/false);
+  sg.set_eager_snapshots(true);
+  std::vector<snap::stream::UpdateBatch> batches;
+  std::size_t at = 0;
+  while (at < edges.size()) {
+    const std::size_t hi = std::min(at + batch_size, edges.size());
+    snap::stream::UpdateBatch& b = batches.emplace_back();
+    for (std::size_t i = at; i < hi; ++i)
+      b.insert(edges[i].u, edges[i].v, static_cast<std::uint64_t>(i));
+    at = hi;
+  }
+  snap::WallTimer timer;
+  for (const auto& b : batches) sg.apply(b);
+  const double s = timer.elapsed_s();
+  *final_edges = sg.pin()->graph().num_edges();
+  return s;
+}
+
+struct ReplayResult {
+  double ingest_s = 0;   ///< writer wall time over all /ingest posts
+  double qps = 0;        ///< reader queries/s during the ingest window
+  snap::eid_t edges = 0; ///< /stats edge count after the replay
+};
+
+/// One replay: a fresh service, `readers` query threads, one writer
+/// streaming the pre-rendered bodies.
+ReplayResult run_replay(vid_t n, const std::vector<std::string>& bodies,
+                        int readers) {
+  GraphService service(n, /*directed=*/false);
+  HttpServer server(&service, /*threads=*/readers + 2);
+  std::string err;
+  if (!server.start("127.0.0.1", 0, &err)) {
+    std::fprintf(stderr, "bench_service: cannot start server: %s\n",
+                 err.c_str());
+    std::exit(1);
+  }
+  const int port = server.port();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> reads{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    pool.emplace_back([port, r, n, &done, &reads] {
+      HttpClient client;
+      std::string cerr;
+      if (!client.connect("127.0.0.1", port, &cerr)) return;
+      snap::SplitMix64 rng(static_cast<std::uint64_t>(r) * 7919 + 1);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto v = static_cast<vid_t>(
+            rng.next_bounded(static_cast<std::uint64_t>(n)));
+        const char* target = rng.next_bounded(8) == 0 ? "/stats" : nullptr;
+        const HttpResult res =
+            target != nullptr
+                ? client.request("GET", target)
+                : client.request("GET", "/degree/" + std::to_string(v));
+        if (!res.ok()) return;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  HttpClient writer;
+  if (!writer.connect("127.0.0.1", port, &err)) {
+    std::fprintf(stderr, "bench_service: writer connect: %s\n", err.c_str());
+    std::exit(1);
+  }
+  snap::WallTimer timer;
+  for (const std::string& body : bodies) {
+    const HttpResult res = writer.request("POST", "/ingest", body);
+    if (!res.ok()) {
+      std::fprintf(stderr, "bench_service: ingest failed: %s %s\n",
+                   res.error.c_str(), res.body.c_str());
+      std::exit(1);
+    }
+  }
+  ReplayResult out;
+  out.ingest_s = timer.elapsed_s();
+  done.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  out.qps = out.ingest_s > 0
+                ? static_cast<double>(reads.load()) / out.ingest_s
+                : 0.0;
+
+  snap::json::Value stats;
+  const HttpResult res = writer.request("GET", "/stats");
+  if (res.ok() && snap::json::parse(res.body, &stats, nullptr))
+    out.edges = stats.get("num_edges").as_int64();
+  server.stop();
+  return out;
+}
+
+double eps(std::size_t edges, double seconds) {
+  return seconds > 0 ? static_cast<double>(edges) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = snapbench::has_flag(argc, argv, "--smoke");
+  JsonReport report("bench_service",
+                    snapbench::flag_value(argc, argv, "--json"));
+  snapbench::print_header(
+      "Analytics service: HTTP ingest replay + concurrent query load");
+
+  std::string corpus_name;
+  CSRGraph corpus_graph;
+  const bool use_corpus =
+      snapbench::corpus_from_flags(argc, argv, &corpus_name, &corpus_graph);
+  const vid_t n_default = smoke ? (vid_t{1} << 12) : (vid_t{1} << 16);
+  const CSRGraph base =
+      use_corpus ? std::move(corpus_graph)
+                 : snapbench::rmat_fold(n_default, 8 * n_default, false, 99);
+  const std::string dataset = use_corpus ? corpus_name : "rmat_fold";
+  const vid_t n = base.num_vertices();
+
+  const std::vector<Edge> edges = edge_stream(base, 4242);
+  const std::size_t batch_size = smoke ? 512 : 2000;
+  const std::vector<std::string> bodies = ingest_bodies(edges, batch_size);
+  std::printf("dataset=%s n=%lld stream=%zu edges in %zu batches of %zu\n",
+              dataset.c_str(), static_cast<long long>(n), edges.size(),
+              bodies.size(), batch_size);
+
+  snap::eid_t direct_edges = 0;
+  const double direct_s = run_direct(n, edges, batch_size, &direct_edges);
+  std::printf("%-22s %9.3fs %14.0f edges/s\n", "direct apply (eager)",
+              direct_s, eps(edges.size(), direct_s));
+  report.record(dataset, {{"batch_size", std::to_string(batch_size)}}, 1,
+                "direct_apply", direct_s, eps(edges.size(), direct_s));
+
+  const ReplayResult r0 = run_replay(n, bodies, /*readers=*/0);
+  std::printf("%-22s %9.3fs %14.0f edges/s\n", "replay, 0 readers",
+              r0.ingest_s, eps(edges.size(), r0.ingest_s));
+  report.record(dataset, {{"batch_size", std::to_string(batch_size)}}, 1,
+                "replay_0r", r0.ingest_s, eps(edges.size(), r0.ingest_s));
+
+  const ReplayResult r4 = run_replay(n, bodies, /*readers=*/4);
+  std::printf("%-22s %9.3fs %14.0f edges/s  (readers: %.0f qps)\n",
+              "replay, 4 readers", r4.ingest_s,
+              eps(edges.size(), r4.ingest_s), r4.qps);
+  report.record(dataset, {{"batch_size", std::to_string(batch_size)}}, 5,
+                "replay_4r", r4.ingest_s, eps(edges.size(), r4.ingest_s));
+  report.record(dataset, {{"batch_size", std::to_string(batch_size)}}, 4,
+                "qps_4r", r4.ingest_s, r4.qps);
+
+  // Correctness: both replays must land on exactly the reference graph.
+  if (r0.edges != direct_edges || r4.edges != direct_edges) {
+    std::fprintf(stderr,
+                 "bench_service: edge-count mismatch (direct %lld, "
+                 "replay_0r %lld, replay_4r %lld)\n",
+                 static_cast<long long>(direct_edges),
+                 static_cast<long long>(r0.edges),
+                 static_cast<long long>(r4.edges));
+    return 1;
+  }
+
+  const double ratio =
+      r0.ingest_s > 0 ? r4.ingest_s / r0.ingest_s : 0.0;
+  std::printf("ingest slowdown with 4 readers: %.2fx (target <= 2x)\n",
+              ratio);
+  report.write();
+  return 0;
+}

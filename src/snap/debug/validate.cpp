@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <mutex>
 #include <sstream>
 
 #include "snap/community/louvain.hpp"
@@ -65,7 +66,9 @@ std::vector<std::int64_t>& Access::mutable_parent(UnionFind& uf) {
 }
 
 std::uint64_t Access::snapshot_epoch(const stream::StreamingGraph& sg) {
-  return sg.snapshot_epoch_;
+  std::lock_guard<std::mutex> lk(sg.snap_mu_);
+  return sg.published_ ? sg.published_->epoch()
+                       : static_cast<std::uint64_t>(-1);
 }
 
 std::vector<vid_t>& Access::mutable_louvain_membership(LouvainLevel& lvl) {
@@ -536,6 +539,12 @@ ValidationReport validate(const stream::StreamingGraph& sg) {
   const bool stale = cached == static_cast<std::uint64_t>(-1);
   ck.require(stale || cached <= sg.epoch(), "snapshot epoch ", cached,
              " is ahead of the graph epoch ", sg.epoch());
+  // Pin accounting: every not-yet-reclaimed EpochSnapshot is counted by the
+  // live gauge, so a published snapshot implies at least one live, and the
+  // gauge can never go negative (a double-free would).
+  ck.require(sg.live_snapshots() >= (stale ? 0 : 1),
+             "live snapshot gauge ", sg.live_snapshots(),
+             " inconsistent with published snapshot state");
   if (!stale && cached == sg.epoch()) {
     // Fresh cache: snapshot() returns it without rebuilding.
     const CSRGraph& snap = sg.snapshot();

@@ -1,0 +1,360 @@
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "snap/centrality/betweenness.hpp"
+#include "snap/community/label_prop.hpp"
+#include "snap/community/louvain.hpp"
+#include "snap/graph/csr_graph.hpp"
+#include "snap/kernels/connected_components.hpp"
+#include "snap/metrics/metrics.hpp"
+#include "snap/server/service.hpp"
+#include "snap/stream/update_batch.hpp"
+#include "snap/util/json.hpp"
+#include "snap/util/rng.hpp"
+
+namespace snap::server {
+
+namespace {
+
+using snap::json::Value;
+
+HttpResponse json_response(int status, const Value& doc) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = doc.dump();
+  return resp;
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  Value doc = Value::object();
+  doc.set("error", message);
+  return json_response(status, doc);
+}
+
+/// Parse the `{v}` tail of /degree/{v}-style paths.  Returns false unless
+/// the tail is a pure decimal integer (no sign, no trailing text).
+bool parse_vertex(const std::string& tail, vid_t* out) {
+  if (tail.empty() || tail.size() > 19) return false;
+  for (const char c : tail)
+    if (c < '0' || c > '9') return false;
+  *out = static_cast<vid_t>(std::strtoll(tail.c_str(), nullptr, 10));
+  return true;
+}
+
+/// Parse a non-negative integer query parameter with a default; false on
+/// malformed text.
+bool parse_int_param(const HttpRequest& req, std::string_view key,
+                     std::int64_t dflt, std::int64_t* out) {
+  const std::string raw = req.query_value(key);
+  if (raw.empty()) {
+    *out = dflt;
+    return true;
+  }
+  if (raw.size() > 18) return false;
+  for (const char c : raw)
+    if (c < '0' || c > '9') return false;
+  *out = std::strtoll(raw.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+GraphService::GraphService(vid_t num_vertices, bool directed)
+    : sg_(num_vertices, directed) {
+  // The whole point of the service: readers pin published epoch images and
+  // never race the writer.  See StreamingGraph::set_eager_snapshots.
+  sg_.set_eager_snapshots(true);
+}
+
+bool GraphService::shutdown_requested() const {
+  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  return shutdown_;
+}
+
+void GraphService::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lk(shutdown_mu_);
+  shutdown_cv_.wait(lk, [this] { return shutdown_; });
+}
+
+HttpResponse GraphService::handle(const HttpRequest& request) {
+  return route(request);
+}
+
+HttpResponse GraphService::route(const HttpRequest& request) {
+  const std::string& p = request.path;
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+
+  if (p == "/ingest")
+    return is_post ? handle_ingest(request)
+                   : error_response(405, "use POST /ingest");
+  if (p == "/shutdown")
+    return is_post ? handle_shutdown()
+                   : error_response(405, "use POST /shutdown");
+  if (p == "/stats")
+    return is_get ? handle_stats() : error_response(405, "use GET /stats");
+  if (p == "/clustering")
+    return is_get ? handle_clustering()
+                  : error_response(405, "use GET /clustering");
+  if (p == "/community")
+    return is_get ? handle_community(request)
+                  : error_response(405, "use GET /community");
+  if (p == "/bc-topk")
+    return is_get ? handle_bc_topk(request)
+                  : error_response(405, "use GET /bc-topk");
+  if (p.rfind("/degree/", 0) == 0)
+    return is_get ? handle_degree(p.substr(8))
+                  : error_response(405, "use GET /degree/{v}");
+  if (p.rfind("/neighbors/", 0) == 0)
+    return is_get ? handle_neighbors(p.substr(11))
+                  : error_response(405, "use GET /neighbors/{v}");
+  if (p.rfind("/cc/", 0) == 0)
+    return is_get ? handle_cc(p.substr(4))
+                  : error_response(405, "use GET /cc/{v}");
+  return error_response(404, "no such route: " + p);
+}
+
+// --------------------------------------------------------------------------
+// POST /ingest — the single writer.
+
+HttpResponse GraphService::handle_ingest(const HttpRequest& request) {
+  Value doc;
+  std::string err;
+  if (!json::parse(request.body, &doc, &err))
+    return error_response(400, "malformed JSON body: " + err);
+  const Value* updates = doc.find("updates");
+  if (updates == nullptr || !updates->is_array())
+    return error_response(400, "body must be {\"updates\": [...]}");
+
+  stream::UpdateBatch batch;
+  for (std::size_t i = 0; i < updates->size(); ++i) {
+    const Value& rec = (*updates)[i];
+    if (!rec.is_object())
+      return error_response(400, "updates[" + std::to_string(i) +
+                                     "] is not an object");
+    const std::string op = rec.get("op").as_string();
+    const Value* u = rec.find("u");
+    const Value* v = rec.find("v");
+    if (u == nullptr || !u->is_number() || v == nullptr || !v->is_number())
+      return error_response(400, "updates[" + std::to_string(i) +
+                                     "] needs numeric \"u\" and \"v\"");
+    const auto uu = static_cast<vid_t>(u->as_int64());
+    const auto vv = static_cast<vid_t>(v->as_int64());
+    if (uu < 0 || vv < 0)
+      return error_response(400, "updates[" + std::to_string(i) +
+                                     "] has a negative vertex id");
+    const auto time =
+        static_cast<std::uint64_t>(rec.get("time").as_int64(0));
+    if (op == "insert")
+      batch.insert(uu, vv, time);
+    else if (op == "delete")
+      batch.erase(uu, vv, time);
+    else
+      return error_response(400, "updates[" + std::to_string(i) +
+                                     "] \"op\" must be insert or delete");
+  }
+
+  stream::ApplyStats stats;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    stats = sg_.apply(batch);
+    epoch = sg_.epoch();
+  }
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(epoch));
+  out.set("raw_records", static_cast<std::int64_t>(stats.raw_records));
+  out.set("canonical_arcs", static_cast<std::int64_t>(stats.canonical_arcs));
+  out.set("applied_inserts",
+          static_cast<std::int64_t>(stats.applied_inserts));
+  out.set("applied_deletes",
+          static_cast<std::int64_t>(stats.applied_deletes));
+  return json_response(200, out);
+}
+
+// --------------------------------------------------------------------------
+// Read endpoints — each pins one snapshot and answers only from it.
+
+HttpResponse GraphService::handle_stats() {
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("num_vertices", g.num_vertices());
+  out.set("num_edges", g.num_edges());
+  out.set("num_arcs", g.num_arcs());
+  out.set("directed", g.directed());
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_degree(const std::string& tail) {
+  vid_t v = 0;
+  if (!parse_vertex(tail, &v))
+    return error_response(400, "bad vertex id: " + tail);
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  if (v >= g.num_vertices())
+    return error_response(404, "vertex " + tail + " out of range");
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("vertex", v);
+  out.set("degree", g.degree(v));
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_neighbors(const std::string& tail) {
+  vid_t v = 0;
+  if (!parse_vertex(tail, &v))
+    return error_response(400, "bad vertex id: " + tail);
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  if (v >= g.num_vertices())
+    return error_response(404, "vertex " + tail + " out of range");
+  Value nbrs = Value::array();
+  for (const vid_t u : g.neighbors(v)) nbrs.push_back(u);
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("vertex", v);
+  out.set("degree", g.degree(v));
+  out.set("neighbors", nbrs);
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_cc(const std::string& tail) {
+  vid_t v = 0;
+  if (!parse_vertex(tail, &v))
+    return error_response(400, "bad vertex id: " + tail);
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  if (v >= g.num_vertices())
+    return error_response(404, "vertex " + tail + " out of range");
+  const Components comps = connected_components(g);
+  const vid_t label = comps.label[static_cast<std::size_t>(v)];
+  const std::vector<vid_t> sizes = comps.sizes();
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("vertex", v);
+  out.set("component", label);
+  out.set("component_size", sizes[static_cast<std::size_t>(label)]);
+  out.set("num_components", comps.count);
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_clustering() {
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  if (g.directed())
+    return error_response(
+        400, "clustering coefficients require an undirected graph");
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("average", average_clustering_coefficient(g));
+  out.set("global", global_clustering_coefficient(g));
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_community(const HttpRequest& request) {
+  const std::string algo = request.query_value("algo", "louvain");
+  if (algo != "louvain" && algo != "plp")
+    return error_response(400, "algo must be louvain or plp, got: " + algo);
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  if (g.directed())
+    return error_response(400,
+                          "community detection requires an undirected graph");
+  CommunityResult result;
+  if (algo == "louvain")
+    result = louvain(g).community;
+  else
+    result = label_propagation(g).community;
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("algo", algo);
+  out.set("num_communities", result.clustering.num_clusters);
+  out.set("modularity", result.modularity);
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_bc_topk(const HttpRequest& request) {
+  std::int64_t k = 0;
+  std::int64_t samples = 0;
+  std::int64_t seed = 0;
+  if (!parse_int_param(request, "k", 10, &k) ||
+      !parse_int_param(request, "samples", 16, &samples) ||
+      !parse_int_param(request, "seed", 42, &seed))
+    return error_response(400, "k, samples and seed must be non-negative "
+                               "integers");
+  if (k < 1 || samples < 1)
+    return error_response(400, "k and samples must be >= 1");
+
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  const vid_t n = g.num_vertices();
+  if (n == 0) return error_response(400, "graph is empty");
+
+  // Distinct sample of source vertices, deterministic in `seed`.
+  std::vector<vid_t> sources;
+  if (samples >= n) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  } else {
+    // Partial Fisher–Yates over the id range: draw `samples` distinct ids.
+    std::vector<vid_t> pool(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) pool[static_cast<std::size_t>(v)] = v;
+    SplitMix64 rng(static_cast<std::uint64_t>(seed));
+    for (std::int64_t i = 0; i < samples; ++i) {
+      const auto j = static_cast<std::size_t>(
+          i + static_cast<std::int64_t>(rng.next_bounded(
+                  static_cast<std::uint64_t>(n - i))));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    }
+    sources.assign(pool.begin(), pool.begin() + samples);
+  }
+
+  const std::vector<double> scores = approx_vertex_betweenness(g, sources);
+
+  // Top-k by score descending, ties toward the smaller vertex id.
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  const auto kk = static_cast<std::size_t>(std::min<std::int64_t>(k, n));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(kk),
+                    order.end(), [&scores](vid_t a, vid_t b) {
+                      const double sa = scores[static_cast<std::size_t>(a)];
+                      const double sb = scores[static_cast<std::size_t>(b)];
+                      if (sa != sb) return sa > sb;
+                      return a < b;
+                    });
+
+  Value top = Value::array();
+  for (std::size_t i = 0; i < kk; ++i) {
+    Value row = Value::object();
+    row.set("vertex", order[i]);
+    row.set("score", scores[static_cast<std::size_t>(order[i])]);
+    top.push_back(row);
+  }
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("k", static_cast<std::int64_t>(kk));
+  out.set("samples",
+          static_cast<std::int64_t>(std::min<std::int64_t>(samples, n)));
+  out.set("seed", seed);
+  out.set("top", top);
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    shutdown_ = true;
+  }
+  shutdown_cv_.notify_all();
+  Value out = Value::object();
+  out.set("ok", true);
+  return json_response(200, out);
+}
+
+}  // namespace snap::server

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "snap/graph/types.hpp"
+#include "snap/server/http.hpp"
+#include "snap/stream/streaming_graph.hpp"
+
+namespace snap::server {
+
+/// The graph analytics service: a JSON-over-HTTP handler that owns one
+/// StreamingGraph in eager-snapshot mode and answers every query from a
+/// pinned epoch snapshot (snapshot isolation — see docs/SERVICE.md).
+///
+/// Concurrency model, single-writer / multi-reader:
+///   - POST /ingest is serialized by `write_mu_`; the apply() publishes the
+///     next epoch's CSR image on the writer thread before returning.
+///   - Every read endpoint pins the published snapshot (a mutex-protected
+///     shared_ptr copy), answers entirely from that immutable image, and
+///     unpins on return.  Readers therefore never touch the mutating
+///     DynamicGraph and never hold a lock across kernel work, so they
+///     cannot block the writer.
+///
+/// Endpoints (all responses application/json; errors are
+/// `{"error": "..."}` with a 4xx/5xx status):
+///   POST /ingest                      body {"updates":[{op,u,v,time}...]}
+///   GET  /stats
+///   GET  /degree/{v}
+///   GET  /neighbors/{v}
+///   GET  /cc/{v}
+///   GET  /clustering
+///   GET  /community?algo=louvain|plp
+///   GET  /bc-topk?k=K&samples=S[&seed=N]
+///   POST /shutdown
+class GraphService final : public HttpHandler {
+ public:
+  /// Service over an initially empty graph on `num_vertices` vertices
+  /// (ingest grows it when updates reference larger ids).  The community
+  /// and clustering endpoints require an undirected graph; a directed
+  /// service still serves the structural endpoints.
+  explicit GraphService(vid_t num_vertices, bool directed = false);
+
+  HttpResponse handle(const HttpRequest& request) override;
+
+  /// True once POST /shutdown has been accepted.
+  [[nodiscard]] bool shutdown_requested() const;
+
+  /// Block until POST /shutdown arrives (the daemon loop of `snap-cli
+  /// serve` parks here).
+  void wait_for_shutdown();
+
+  /// The underlying streaming graph — exposed for the replay bench, which
+  /// compares service-side epochs against a direct-apply reference.  Do not
+  /// mutate it while the server is running; use /ingest.
+  [[nodiscard]] const stream::StreamingGraph& streaming() const { return sg_; }
+
+ private:
+  HttpResponse route(const HttpRequest& request);
+
+  HttpResponse handle_ingest(const HttpRequest& request);
+  HttpResponse handle_stats();
+  HttpResponse handle_degree(const std::string& tail);
+  HttpResponse handle_neighbors(const std::string& tail);
+  HttpResponse handle_cc(const std::string& tail);
+  HttpResponse handle_clustering();
+  HttpResponse handle_community(const HttpRequest& request);
+  HttpResponse handle_bc_topk(const HttpRequest& request);
+  HttpResponse handle_shutdown();
+
+  stream::StreamingGraph sg_;
+  std::mutex write_mu_;  ///< serializes /ingest applies (single writer)
+
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace snap::server

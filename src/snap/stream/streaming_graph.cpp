@@ -1,11 +1,24 @@
 #include "snap/stream/streaming_graph.hpp"
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "snap/debug/validate.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap::stream {
+
+EpochSnapshot::EpochSnapshot(CSRGraph csr, std::uint64_t epoch,
+                             std::shared_ptr<std::atomic<std::int64_t>> live)
+    : csr_(std::move(csr)), epoch_(epoch), live_(std::move(live)) {
+  live_->fetch_add(1, std::memory_order_acq_rel);
+}
+
+EpochSnapshot::~EpochSnapshot() {
+  live_->fetch_sub(1, std::memory_order_acq_rel);
+}
 
 StreamingGraph::StreamingGraph(vid_t n, bool directed, eid_t promote_threshold)
     : graph_(n, directed, promote_threshold) {}
@@ -113,21 +126,64 @@ ApplyStats StreamingGraph::apply_canonical(const CanonicalBatch& cb) {
   // a corrupted graph is caught at the batch that broke it, not downstream.
   SNAP_VALIDATE(graph_);
 
-  ++epoch_;
-  ab.epoch = epoch_;
+  const std::uint64_t new_epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  ab.epoch = new_epoch;
   ab.num_vertices = graph_.num_vertices();
   ab.graph = &graph_;
   for (StreamObserver* obs : observers_) obs->on_batch(ab);
+
+  // Eager mode: materialize and publish this epoch's snapshot before apply
+  // returns, on the writer thread.  Readers pinning concurrently keep
+  // seeing the previous epoch until the pointer swap; their handles keep
+  // superseded snapshots alive until unpinned (RCU-style reclamation).
+  if (eager_) (void)publish_snapshot();
   return st;
 }
 
-const CSRGraph& StreamingGraph::snapshot() const {
-  if (snapshot_epoch_ != epoch_) {
-    snapshot_ = graph_.to_csr();
-    snapshot_epoch_ = epoch_;
-    SNAP_VALIDATE(*this);
+SnapshotHandle StreamingGraph::publish_snapshot() const {
+  // Hidden contract: reads graph_, so only the applying thread (or a caller
+  // with no concurrent writer) may enter.  The build happens outside the
+  // lock — pinning readers are never blocked behind a to_csr.
+  auto snap = std::shared_ptr<const EpochSnapshot>(
+      new EpochSnapshot(graph_.to_csr(), epoch(), live_));
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  published_ = snap;
+  return snap;
+}
+
+SnapshotHandle StreamingGraph::pin() const {
+  const std::uint64_t e = epoch();
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    // Eager mode serves whatever is currently published (snapshot
+    // isolation: a pin racing an in-flight apply gets the previous epoch).
+    // Lazy mode reuses the cache only when it matches the current epoch.
+    if (published_ && (eager_ || published_->epoch() == e))
+      return published_;
   }
-  return snapshot_;
+  return publish_snapshot();
+}
+
+void StreamingGraph::set_eager_snapshots(bool eager) {
+  eager_ = eager;
+  // Publish immediately so concurrent pins always find a snapshot without
+  // ever touching the live graph.
+  if (eager_) (void)publish_snapshot();
+}
+
+const CSRGraph& StreamingGraph::snapshot() const {
+  SnapshotHandle h = pin();
+  bool refreshed = false;
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    refreshed = legacy_.get() != h.get();
+    legacy_ = h;
+  }
+  // Validate only on refresh: the validator itself calls snapshot(), which
+  // now short-circuits (same handle), so validation cannot recurse.
+  if (refreshed) SNAP_VALIDATE(*this);
+  return h->graph();
 }
 
 }  // namespace snap::stream

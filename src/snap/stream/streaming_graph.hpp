@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -44,6 +47,39 @@ struct ApplyStats {
   std::size_t applied_deletes = 0; ///< logical edges actually deleted
 };
 
+/// One immutable, refcounted epoch snapshot: the CSR image of the graph as
+/// of `epoch()`.  Handed out by StreamingGraph::pin(); a handle keeps the
+/// snapshot alive (RCU-style epoch reclamation — a superseded snapshot is
+/// freed only when its pin count drops to zero, never in place under a
+/// reader).  The object is immutable after construction, so any number of
+/// threads can read `graph()` concurrently, including while the writer
+/// applies the next batch.
+class EpochSnapshot {
+ public:
+  EpochSnapshot(const EpochSnapshot&) = delete;
+  EpochSnapshot& operator=(const EpochSnapshot&) = delete;
+  ~EpochSnapshot();
+
+  [[nodiscard]] const CSRGraph& graph() const { return csr_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend class StreamingGraph;
+  EpochSnapshot(CSRGraph csr, std::uint64_t epoch,
+                std::shared_ptr<std::atomic<std::int64_t>> live);
+
+  CSRGraph csr_;
+  std::uint64_t epoch_;
+  // Shared with the owning StreamingGraph's live-snapshot gauge; holding it
+  // by shared_ptr lets a pinned handle safely outlive the graph itself.
+  std::shared_ptr<std::atomic<std::int64_t>> live_;
+};
+
+/// A pin on one epoch snapshot.  Copyable (each copy is another pin);
+/// destruction unpins.  The pointee is const — snapshots are read-only by
+/// construction.
+using SnapshotHandle = std::shared_ptr<const EpochSnapshot>;
+
 /// Batched, parallel edge updates over the §3 degree-hybrid DynamicGraph —
 /// the streaming-ingest front door (PAPER §6's "topological analysis of
 /// dynamic networks").
@@ -63,7 +99,9 @@ class StreamingGraph {
                                  eid_t promote_threshold = 128);
 
   [[nodiscard]] const DynamicGraph& graph() const { return graph_; }
-  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   /// Register a non-owning observer; it must outlive the StreamingGraph (or
   /// at least every subsequent apply()).
@@ -76,22 +114,71 @@ class StreamingGraph {
   /// apply() degrades to under parallel::set_num_threads(1)).
   ApplyStats apply_serial(const UpdateBatch& batch);
 
+  /// Pin the current epoch snapshot.  The returned handle keeps that CSR
+  /// image alive and immutable until the handle (and every copy) is
+  /// dropped; superseded snapshots are reclaimed when their last pin goes
+  /// away, so a reader can never observe a freed or in-place-mutated
+  /// snapshot.
+  ///
+  /// Concurrency contract: with eager snapshots enabled
+  /// (`set_eager_snapshots(true)` — the analytics-service mode), pin() is
+  /// safe to call from any number of reader threads concurrently with the
+  /// single writer running apply(); it returns the latest *published* epoch
+  /// (snapshot isolation — a pin racing an in-flight apply sees the
+  /// previous epoch) and never touches the mutating DynamicGraph.  In the
+  /// default lazy mode, pin() materializes a stale snapshot on demand from
+  /// the live graph and therefore must not run concurrently with apply()
+  /// (the classic single-threaded analyze-between-batches pattern).
+  [[nodiscard]] SnapshotHandle pin() const;
+
+  /// Eager mode: every apply() materializes and publishes the new epoch's
+  /// snapshot before returning (on the writer thread), which is what makes
+  /// pin() concurrent-reader-safe.  Enabling publishes the current epoch
+  /// immediately.  Costs one to_csr per batch — the price of serving
+  /// readers a fresh immutable image per epoch.
+  void set_eager_snapshots(bool eager);
+  [[nodiscard]] bool eager_snapshots() const { return eager_; }
+
+  /// Number of epoch snapshots currently alive (published + still-pinned
+  /// superseded ones).  A gauge for tests and validators: after all handles
+  /// are dropped it must fall back to at most 1 (the published snapshot).
+  [[nodiscard]] std::int64_t live_snapshots() const {
+    return live_->load(std::memory_order_acquire);
+  }
+
   /// Epoch-cached CSR snapshot for the static kernels: rebuilt only when a
   /// batch has been applied since the last call, so interleaving many static
-  /// analyses between batches costs one to_csr per epoch.
+  /// analyses between batches costs one to_csr per epoch.  Single-threaded
+  /// convenience over pin(): the returned reference stays valid until the
+  /// next snapshot() call that observes a newer epoch (the handle backing it
+  /// is cached internally).  Concurrent callers should hold their own pin()
+  /// instead.
   const CSRGraph& snapshot() const;
 
  private:
-  // Validators read the snapshot-cache epoch.
+  // Validators read the published-snapshot epoch.
   friend struct debug::Access;
 
   ApplyStats apply_canonical(const CanonicalBatch& cb);
 
+  /// Build the current epoch's CSR and swap it in as the published
+  /// snapshot.  Reads graph_, so only the writer (or a quiescent caller)
+  /// may run it; the swap itself happens under snap_mu_.
+  SnapshotHandle publish_snapshot() const;
+
   DynamicGraph graph_;
   std::vector<StreamObserver*> observers_;
-  std::uint64_t epoch_ = 0;
-  mutable CSRGraph snapshot_;
-  mutable std::uint64_t snapshot_epoch_ = static_cast<std::uint64_t>(-1);
+  std::atomic<std::uint64_t> epoch_{0};
+  bool eager_ = false;
+
+  // Snapshot publication state.  snap_mu_ guards only the shared_ptr swap /
+  // copy — readers hold it for a pointer copy, the writer for a pointer
+  // store, so neither side can block the other for more than that.
+  mutable std::mutex snap_mu_;
+  mutable SnapshotHandle published_;
+  mutable SnapshotHandle legacy_;  ///< keeps snapshot()'s reference alive
+  std::shared_ptr<std::atomic<std::int64_t>> live_ =
+      std::make_shared<std::atomic<std::int64_t>>(0);
 };
 
 }  // namespace snap::stream

@@ -1,0 +1,448 @@
+#include "snap/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace snap::json {
+
+namespace {
+
+const Value kNullValue{};
+
+constexpr int kMaxDepth = 128;
+
+}  // namespace
+
+void Value::set(std::string_view key, Value v) {
+  type_ = Type::kObject;
+  for (Member& m : obj_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::string(key), std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : obj_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+const Value& Value::get(std::string_view key) const {
+  const Value* v = find(key);
+  return v != nullptr ? *v : kNullValue;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Value::Type::kNull:
+      return true;
+    case Value::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Value::Type::kNumber:
+      return a.num_ == b.num_;
+    case Value::Type::kString:
+      return a.str_ == b.str_;
+    case Value::Type::kArray:
+      return a.arr_ == b.arr_;
+    case Value::Type::kObject:
+      return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Emit.
+
+void escape(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_number(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    out->push_back('0');
+    return;
+  }
+  // Integral doubles within the exactly-representable window print as
+  // integers — ids, counts and epochs stay grep-able and byte-stable.
+  if (d == std::floor(d) && std::fabs(d) < 9007199254740992.0) {  // 2^53
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out->append(buf);
+    return;
+  }
+  // Shortest form that survives a strtod round trip.
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  out->append(buf);
+}
+
+void Value::dump(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      append_number(num_, out);
+      break;
+    case Type::kString:
+      escape(str_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.dump(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const Member& m : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        escape(m.first, out);
+        out->push_back(':');
+        m.second.dump(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parse.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool run(Value* out, std::string* error) {
+    bool ok = parse_value(out, 0);
+    if (ok) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after document");
+        ok = false;
+      }
+    }
+    if (!ok && error != nullptr) *error = error_;
+    return ok;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_.empty())
+      error_ = "byte " + std::to_string(pos_) + ": " + why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit)
+      return fail("invalid literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) return false;
+        *out = Value();
+        return true;
+      case 't':
+        if (!consume_literal("true")) return false;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        *out = Value(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(Value* out, int depth) {
+    ++pos_;  // '['
+    *out = Value::array();
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Value elem;
+      if (!parse_value(&elem, depth + 1)) return false;
+      out->push_back(std::move(elem));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  bool parse_object(Value* out, int depth) {
+    ++pos_;  // '{'
+    *out = Value::object();
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (at_end() || text_[pos_] != ':') return fail("expected ':' after key");
+      ++pos_;
+      Value member;
+      if (!parse_value(&member, depth + 1)) return false;
+      out->set(key, std::move(member));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        return fail("invalid \\u escape");
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (at_end()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              unsigned lo = 0;
+              if (!parse_hex4(&lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF)
+                return fail("invalid low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return fail("unpaired high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || peek() < '0' || peek() > '9')
+      return fail("invalid value");
+    // JSON forbids leading zeros ("012"), octal-looking input is a typo.
+    if (peek() == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9')
+      return fail("leading zero in number");
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9')
+        return fail("digit required after decimal point");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9')
+        return fail("digit required in exponent");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = Value(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value* out, std::string* error) {
+  return Parser(text).run(out, error);
+}
+
+}  // namespace snap::json

@@ -1,0 +1,164 @@
+// snap/util/json: escape-correct emit, recursive-descent parse, and the
+// round-trip / malformed-input contracts the bench reports and the graph
+// service rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "snap/util/json.hpp"
+
+namespace {
+
+using snap::json::Value;
+
+Value parse_ok(const std::string& text) {
+  Value v;
+  std::string err;
+  EXPECT_TRUE(snap::json::parse(text, &v, &err)) << text << " -> " << err;
+  return v;
+}
+
+std::string parse_fail(const std::string& text) {
+  Value v;
+  std::string err;
+  EXPECT_FALSE(snap::json::parse(text, &v, &err)) << text;
+  EXPECT_FALSE(err.empty()) << text;
+  return err;
+}
+
+TEST(JsonValue, ScalarsDump) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(0).dump(), "0");
+  EXPECT_EQ(Value(-17).dump(), "-17");
+  EXPECT_EQ(Value(3.5).dump(), "3.5");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Value(std::int64_t{1} << 40).dump(), "1099511627776");
+}
+
+TEST(JsonValue, ObjectInsertionOrderAndReplace) {
+  Value o = Value::object();
+  o.set("b", 1);
+  o.set("a", 2);
+  o.set("b", 3);  // replaced in place, position kept
+  EXPECT_EQ(o.dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(o.get("a").as_int64(), 2);
+  EXPECT_EQ(o.get("missing").as_int64(-1), -1);
+  EXPECT_TRUE(o.get("missing").is_null());
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(JsonValue, NestedChainedGet) {
+  Value inner = Value::object();
+  inner.set("v", 42);
+  Value outer = Value::object();
+  outer.set("in", inner);
+  EXPECT_EQ(outer.get("in").get("v").as_int64(), 42);
+  EXPECT_EQ(outer.get("no").get("v").as_int64(7), 7);
+}
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(Value("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Value("\n\t\r\b\f").dump(), "\"\\n\\t\\r\\b\\f\"");
+  EXPECT_EQ(Value(std::string("\x01\x1f")).dump(), "\"\\u0001\\u001f\"");
+  // Multi-byte UTF-8 passes through verbatim.
+  EXPECT_EQ(Value("caf\xc3\xa9").dump(), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonRoundTrip, EscapedStringsSurvive) {
+  const std::string nasty = "quote:\" backslash:\\ newline:\n tab:\t nul-ish:\x01";
+  const Value v(nasty);
+  const Value back = parse_ok(v.dump());
+  EXPECT_EQ(back.as_string(), nasty);
+}
+
+TEST(JsonRoundTrip, NumbersSurviveExactly) {
+  for (const double d : {0.0, 1.0, -1.0, 0.1, 1e-9, 3.141592653589793,
+                         1e300, -2.5e-300, 9007199254740991.0}) {
+    const Value back = parse_ok(Value(d).dump());
+    EXPECT_EQ(back.as_double(), d) << Value(d).dump();
+  }
+}
+
+TEST(JsonRoundTrip, NestedDocument) {
+  Value doc = Value::object();
+  doc.set("name", "bench_service");
+  doc.set("epoch", 12);
+  Value arr = Value::array();
+  for (int i = 0; i < 3; ++i) {
+    Value rec = Value::object();
+    rec.set("u", i);
+    rec.set("v", i + 1);
+    rec.set("op", i % 2 == 0 ? "insert" : "delete");
+    arr.push_back(rec);
+  }
+  doc.set("updates", arr);
+  doc.set("flag", true);
+  doc.set("nothing", Value());
+
+  const std::string text = doc.dump();
+  const Value back = parse_ok(text);
+  EXPECT_EQ(back, doc);
+  EXPECT_EQ(back.dump(), text);  // byte-stable re-serialization
+  EXPECT_EQ(back.get("updates").size(), 3u);
+  EXPECT_EQ(back.get("updates")[2].get("u").as_int64(), 2);
+}
+
+TEST(JsonParse, WhitespaceAndLiterals) {
+  EXPECT_TRUE(parse_ok(" \t\r\n null \n").is_null());
+  EXPECT_TRUE(parse_ok("[ ]").is_array());
+  EXPECT_TRUE(parse_ok("{ }").is_object());
+  const Value v = parse_ok("[1, -2.5e3, true, null, \"x\"]");
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[1].as_double(), -2500.0);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parse_ok("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse_ok("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_ok("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, MalformedInputsRejectWithPosition) {
+  for (const char* bad :
+       {"", "{", "[", "[1,", "{\"a\":}", "{\"a\" 1}", "{a:1}", "tru",
+        "nulll", "[1 2]", "\"unterminated", "\"bad \\q escape\"", "01",
+        "1.", "1e", "-", "+1", "NaN", "Infinity", "[1]]", "{}{}",
+        "\"\\ud83d\"", "\"\\udc00\"", "\"\\u12g4\"", "{\"a\":1,}", "[1,]"}) {
+    const std::string err = parse_fail(bad);
+    EXPECT_NE(err.find("byte "), std::string::npos) << bad << " -> " << err;
+  }
+}
+
+TEST(JsonParse, RawControlCharacterInStringRejected) {
+  parse_fail(std::string("\"a\nb\""));
+}
+
+TEST(JsonParse, DepthLimitRejectsStackAttack) {
+  std::string deep(5000, '[');
+  deep += std::string(5000, ']');
+  parse_fail(deep);
+  // ...but reasonable nesting is fine.
+  std::string ok(64, '[');
+  ok += "1";
+  ok += std::string(64, ']');
+  parse_ok(ok);
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  const Value v = parse_ok("{\"a\":1,\"a\":2}");
+  EXPECT_EQ(v.get("a").as_int64(), 2);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(JsonNumbers, NonFiniteEmitsZero) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "0");
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "0");
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Snapshot-handle lifetime under concurrency: pin()/apply()/unpin hammered
+// from {1,2,4,8} reader threads while the writer streams 1k batches.  This
+// is the TSan test of the RCU-style epoch reclamation — a reader must never
+// observe a freed or in-place-mutated snapshot, and superseded snapshots
+// must be reclaimed once their last pin drops.  The CI tsan matrix job runs
+// this binary with -fsanitize=thread (parallel.hpp swaps the kernel thread
+// teams to std::thread there, which TSan models exactly).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "snap/graph/csr_graph.hpp"
+#include "snap/stream/streaming_graph.hpp"
+#include "snap/stream/update_batch.hpp"
+#include "snap/util/rng.hpp"
+
+namespace {
+
+using snap::CSRGraph;
+using snap::vid_t;
+using snap::stream::SnapshotHandle;
+using snap::stream::StreamingGraph;
+using snap::stream::UpdateBatch;
+
+// Structural spot-checks a reader runs against a pinned snapshot.  Each
+// invariant holds for *any* consistent CSR image of an undirected graph; a
+// torn or freed snapshot trips them (or TSan) immediately.
+void check_snapshot(const SnapshotHandle& h) {
+  const CSRGraph& g = h->graph();
+  ASSERT_FALSE(g.directed());
+  const vid_t n = g.num_vertices();
+  // Undirected CSR stores two arcs per non-loop logical edge; self loops
+  // store one.  num_arcs <= 2m always, and offsets must telescope to it.
+  ASSERT_LE(g.num_arcs(), 2 * g.num_edges());
+  snap::eid_t deg_sum = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    deg_sum += g.degree(v);
+    for (const vid_t u : g.neighbors(v)) {
+      ASSERT_GE(u, 0);
+      ASSERT_LT(u, n);
+    }
+  }
+  ASSERT_EQ(deg_sum, g.num_arcs());
+}
+
+UpdateBatch make_batch(snap::SplitMix64* rng, vid_t n, int updates) {
+  UpdateBatch b;
+  for (int i = 0; i < updates; ++i) {
+    const auto u = static_cast<vid_t>(
+        rng->next_bounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<vid_t>(
+        rng->next_bounded(static_cast<std::uint64_t>(n)));
+    if (rng->next_bounded(4) == 0)
+      b.erase(u, v, static_cast<std::uint64_t>(i));
+    else
+      b.insert(u, v, static_cast<std::uint64_t>(i));
+  }
+  return b;
+}
+
+TEST(SnapshotPinning, HandleSurvivesApplyAndIsReclaimedOnUnpin) {
+  StreamingGraph sg(64, /*directed=*/false);
+  UpdateBatch b;
+  b.insert(0, 1);
+  b.insert(1, 2);
+  sg.apply(b);
+
+  SnapshotHandle h1 = sg.pin();
+  EXPECT_EQ(h1->epoch(), sg.epoch());
+  EXPECT_EQ(h1->graph().num_edges(), 2);
+  EXPECT_EQ(sg.live_snapshots(), 1);
+
+  // Pinning again without an intervening apply reuses the same snapshot.
+  SnapshotHandle h2 = sg.pin();
+  EXPECT_EQ(h1.get(), h2.get());
+  EXPECT_EQ(sg.live_snapshots(), 1);
+
+  // Apply a batch: the old handle keeps reading the old epoch's image.
+  UpdateBatch b2;
+  b2.insert(2, 3);
+  sg.apply(b2);
+  EXPECT_EQ(h1->graph().num_edges(), 2);
+  SnapshotHandle h3 = sg.pin();
+  EXPECT_NE(h3.get(), h1.get());
+  EXPECT_EQ(h3->graph().num_edges(), 3);
+  EXPECT_EQ(sg.live_snapshots(), 2);  // old (pinned) + new
+
+  // Dropping the last pins of the superseded snapshot reclaims it.
+  h1.reset();
+  h2.reset();
+  EXPECT_EQ(sg.live_snapshots(), 1);
+}
+
+TEST(SnapshotPinning, HandleOutlivesTheStreamingGraph) {
+  SnapshotHandle h;
+  {
+    StreamingGraph sg(16, false);
+    UpdateBatch b;
+    b.insert(3, 4);
+    sg.apply(b);
+    h = sg.pin();
+  }
+  // The graph is gone; the pinned snapshot is still fully readable.
+  EXPECT_EQ(h->graph().num_edges(), 1);
+  EXPECT_EQ(h->graph().neighbors(3).size(), 1u);
+}
+
+TEST(SnapshotPinning, EagerModePublishesEveryEpoch) {
+  StreamingGraph sg(32, false);
+  sg.set_eager_snapshots(true);
+  EXPECT_EQ(sg.live_snapshots(), 1);  // published on enable
+  for (int i = 0; i < 5; ++i) {
+    UpdateBatch b;
+    b.insert(i, i + 1);
+    sg.apply(b);
+    EXPECT_EQ(sg.pin()->epoch(), sg.epoch());
+  }
+  EXPECT_EQ(sg.live_snapshots(), 1);  // superseded epochs reclaimed
+}
+
+// The hammer: one writer streams kBatches small batches through apply()
+// while nr readers spin on pin -> structural check -> unpin.  Run under
+// TSan this proves readers never race the writer; at any check level it
+// proves snapshot isolation (a pinned epoch's edge count never changes
+// under the reader's feet) and reclamation (gauge returns to 1).
+void hammer(int nr) {
+  constexpr int kBatches = 1000;
+  constexpr vid_t kN = 256;
+  StreamingGraph sg(kN, /*directed=*/false);
+  sg.set_eager_snapshots(true);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) {
+    readers.emplace_back([&sg, &done, &reads] {
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        SnapshotHandle h = sg.pin();
+        // Published epochs are monotone per reader.
+        ASSERT_GE(h->epoch(), last_epoch);
+        last_epoch = h->epoch();
+        const snap::eid_t m_first = h->graph().num_edges();
+        check_snapshot(h);
+        // Snapshot isolation: the image did not change while we held it.
+        ASSERT_EQ(h->graph().num_edges(), m_first);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  snap::SplitMix64 rng(nr * 1000003ULL + 7);
+  for (int i = 0; i < kBatches; ++i) {
+    UpdateBatch b = make_batch(&rng, kN, 32);
+    sg.apply(b);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(sg.epoch(), static_cast<std::uint64_t>(kBatches));
+  EXPECT_GT(reads.load(), 0);
+  // All reader handles dropped: only the published snapshot remains.
+  EXPECT_EQ(sg.live_snapshots(), 1);
+  EXPECT_EQ(sg.pin()->epoch(), static_cast<std::uint64_t>(kBatches));
+}
+
+TEST(SnapshotPinning, HammerOneReader) { hammer(1); }
+TEST(SnapshotPinning, HammerTwoReaders) { hammer(2); }
+TEST(SnapshotPinning, HammerFourReaders) { hammer(4); }
+TEST(SnapshotPinning, HammerEightReaders) { hammer(8); }
+
+}  // namespace

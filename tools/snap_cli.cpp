@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,6 +44,9 @@
 #include "snap/metrics/robustness.hpp"
 #include "snap/partition/multilevel.hpp"
 #include "snap/partition/spectral.hpp"
+#include "snap/server/http.hpp"
+#include "snap/server/service.hpp"
+#include "snap/util/json.hpp"
 #include "snap/util/parallel.hpp"
 #include "snap/util/timer.hpp"
 
@@ -362,6 +366,94 @@ int cmd_robustness(const Args& a) {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// The analytics daemon (docs/SERVICE.md) and its client.
+
+int cmd_serve(const Args& a) {
+  const bool directed = a.has("directed");
+  // Preload loads first so the service is sized to the file's full vertex
+  // count — an insert stream alone cannot create trailing isolated
+  // vertices (the graph only grows to the largest referenced id).
+  CSRGraph preload;
+  if (a.has("in")) preload = load(a);
+  server::GraphService service(
+      std::max<vid_t>(a.geti("n", 0), preload.num_vertices()), directed);
+
+  // Push the preload through the same handler the wire uses.
+  if (a.has("in")) {
+    const CSRGraph& g = preload;
+    json::Value updates = json::Value::array();
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      for (const vid_t u : g.neighbors(v)) {
+        if (!g.directed() && u > v) continue;  // one record per logical edge
+        json::Value rec = json::Value::object();
+        rec.set("op", "insert");
+        rec.set("u", v);
+        rec.set("v", u);
+        updates.push_back(rec);
+      }
+    }
+    json::Value doc = json::Value::object();
+    doc.set("updates", updates);
+    server::HttpRequest req;
+    req.method = "POST";
+    req.path = "/ingest";
+    req.body = doc.dump();
+    const server::HttpResponse resp = service.handle(req);
+    if (resp.status != 200) {
+      std::fprintf(stderr, "preload failed: %s\n", resp.body.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "preloaded %s: %s\n", a.get("in").c_str(),
+                 resp.body.c_str());
+  }
+
+  const std::string host = a.get("host", "127.0.0.1");
+  const auto port = static_cast<int>(a.geti("port", 7077));
+  server::HttpServer server(&service,
+                            static_cast<int>(a.geti("http-threads", 4)));
+  std::string err;
+  if (!server.start(host, port, &err)) {
+    std::fprintf(stderr, "cannot listen on %s:%d: %s\n", host.c_str(), port,
+                 err.c_str());
+    return 1;
+  }
+  std::printf("snap-service listening on %s:%d\n", host.c_str(),
+              server.port());
+  std::fflush(stdout);
+  service.wait_for_shutdown();
+  server.stop();
+  std::printf("snap-service stopped after %llu requests\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  const std::string target = a.require("target");
+  std::string body = a.get("body");
+  if (a.has("body-file")) {
+    std::ifstream in(a.get("body-file"), std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read --body-file %s\n",
+                   a.get("body-file").c_str());
+      return 1;
+    }
+    body.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::string method = a.get("method", body.empty() ? "GET" : "POST");
+  const server::HttpResult r =
+      server::http_request(a.get("host", "127.0.0.1"),
+                           static_cast<int>(a.geti("port", 7077)), method,
+                           target, body);
+  if (r.status == 0) {
+    std::fprintf(stderr, "transport error: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", r.body.c_str());
+  return r.ok() ? 0 : 1;
+}
+
 void usage() {
   std::printf(
       "snap-cli <command> [options]\n"
@@ -374,6 +466,10 @@ void usage() {
       "  centrality --in FILE [--metric degree|closeness|betweenness|stress]\n"
       "             [--top N] [--samples N]\n"
       "  robustness --in FILE [--attack degree|random] [--steps N]\n"
+      "  serve      [--host H] [--port P] [--n N] [--in FILE]\n"
+      "             [--http-threads T]   (POST /shutdown stops it)\n"
+      "  query      --target /stats [--host H] [--port P]\n"
+      "             [--method GET|POST] [--body JSON | --body-file FILE]\n"
       "Common: --directed, --threads T\n");
 }
 
@@ -396,6 +492,8 @@ int main(int argc, char** argv) {
     if (cmd == "partition") return cmd_partition(args);
     if (cmd == "centrality") return cmd_centrality(args);
     if (cmd == "robustness") return cmd_robustness(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "query") return cmd_query(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
