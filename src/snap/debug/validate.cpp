@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
-#include <mutex>
 #include <sstream>
 
 #include "snap/community/louvain.hpp"
@@ -14,6 +13,7 @@
 #include "snap/graph/csr_graph.hpp"
 #include "snap/graph/dynamic_graph.hpp"
 #include "snap/stream/streaming_graph.hpp"
+#include "snap/util/sync.hpp"
 
 namespace snap::debug {
 
@@ -66,7 +66,7 @@ std::vector<std::int64_t>& Access::mutable_parent(UnionFind& uf) {
 }
 
 std::uint64_t Access::snapshot_epoch(const stream::StreamingGraph& sg) {
-  std::lock_guard<std::mutex> lk(sg.snap_mu_);
+  sync::MutexLock lk(sg.snap_mu_);
   return sg.published_ ? sg.published_->epoch()
                        : static_cast<std::uint64_t>(-1);
 }

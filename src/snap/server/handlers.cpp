@@ -70,13 +70,13 @@ GraphService::GraphService(vid_t num_vertices, bool directed)
 }
 
 bool GraphService::shutdown_requested() const {
-  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  sync::MutexLock lk(shutdown_mu_);
   return shutdown_;
 }
 
 void GraphService::wait_for_shutdown() {
-  std::unique_lock<std::mutex> lk(shutdown_mu_);
-  shutdown_cv_.wait(lk, [this] { return shutdown_; });
+  sync::MutexLock lk(shutdown_mu_);
+  while (!shutdown_) shutdown_cv_.wait(shutdown_mu_);
 }
 
 HttpResponse GraphService::handle(const HttpRequest& request) {
@@ -160,7 +160,7 @@ HttpResponse GraphService::handle_ingest(const HttpRequest& request) {
   stream::ApplyStats stats;
   std::uint64_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lk(write_mu_);
+    sync::MutexLock lk(write_mu_);
     stats = sg_.apply(batch);
     epoch = sg_.epoch();
   }
@@ -187,6 +187,11 @@ HttpResponse GraphService::handle_stats() {
   out.set("num_edges", g.num_edges());
   out.set("num_arcs", g.num_arcs());
   out.set("directed", g.directed());
+  // Reclamation observability: epochs currently alive = the published
+  // snapshot plus superseded ones still pinned by in-flight queries.  A
+  // value stuck above 1 while the service is idle is a pin leak.
+  out.set("live_snapshots",
+          static_cast<std::int64_t>(sg_.live_snapshots()));
   return json_response(200, out);
 }
 
@@ -348,7 +353,7 @@ HttpResponse GraphService::handle_bc_topk(const HttpRequest& request) {
 
 HttpResponse GraphService::handle_shutdown() {
   {
-    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    sync::MutexLock lk(shutdown_mu_);
     shutdown_ = true;
   }
   shutdown_cv_.notify_all();

@@ -215,6 +215,7 @@ HttpServer::HttpServer(HttpHandler* handler, int threads)
 HttpServer::~HttpServer() { stop(); }
 
 bool HttpServer::start(const std::string& host, int port, std::string* error) {
+  sync::MutexLock lk(lifecycle_mu_);
   if (running()) {
     if (error != nullptr) *error = "server already running";
     return false;
@@ -251,18 +252,23 @@ bool HttpServer::start(const std::string& host, int port, std::string* error) {
 
   running_.store(true, std::memory_order_release);
   workers_.reserve(static_cast<std::size_t>(num_threads_));
+  // Workers get the fd by value: they must stay off the guarded lifecycle
+  // state, and the fd outlives them by construction (stop() closes it only
+  // after joining every worker).
   for (int t = 0; t < num_threads_; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, fd = listen_fd_] { worker_loop(fd); });
   return true;
 }
 
 void HttpServer::stop() {
+  sync::MutexLock lk(lifecycle_mu_);
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     // Never started (or already stopped): nothing to join.
     if (workers_.empty()) return;
   }
   // Unblock every worker's accept(); the fd itself is closed only after the
-  // join so no worker can race a recycled descriptor.
+  // join so no worker can race a recycled descriptor.  Joining under
+  // lifecycle_mu_ cannot deadlock: workers never take the lifecycle lock.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   for (auto& w : workers_) w.join();
   workers_.clear();
@@ -272,9 +278,9 @@ void HttpServer::stop() {
   }
 }
 
-void HttpServer::worker_loop() {
+void HttpServer::worker_loop(int listen_fd) {
   while (running()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;  // listener shut down

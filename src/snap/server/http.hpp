@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "snap/util/sync.hpp"
+
 namespace snap::server {
 
 /// One parsed HTTP request, as the service layer sees it.
@@ -83,16 +85,28 @@ class HttpServer {
   }
 
  private:
-  void worker_loop();
+  /// Accept loop of one pool worker.  Workers never touch the guarded
+  /// lifecycle state: the listening fd is captured by value at launch
+  /// (valid until stop() joins them — stop() closes it only after the
+  /// join), and shutdown is signalled through the `running_` atomic.
+  void worker_loop(int listen_fd);
   void serve_connection(int fd);
 
   HttpHandler* handler_;
   int num_threads_;
-  int listen_fd_ = -1;
+
+  // Lifecycle state.  start() and stop() may be called from different
+  // threads (the tests' main thread destroys the server while a signal
+  // handler thread could be stopping it); lifecycle_mu_ serializes them.
+  // port_ is written once inside start() before any worker launches and is
+  // immutable afterwards (readers of port() see it via the caller's
+  // happens-before on start() returning).
+  sync::Mutex lifecycle_mu_;  // guards: listen_fd_, workers_
+  int listen_fd_ GUARDED_BY(lifecycle_mu_) = -1;
+  std::vector<std::thread> workers_ GUARDED_BY(lifecycle_mu_);
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
-  std::vector<std::thread> workers_;
 };
 
 /// Result of one client-side HTTP exchange.  `status` 0 means a transport

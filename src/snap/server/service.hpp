@@ -1,13 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "snap/graph/types.hpp"
 #include "snap/server/http.hpp"
 #include "snap/stream/streaming_graph.hpp"
+#include "snap/util/sync.hpp"
 
 namespace snap::server {
 
@@ -70,12 +69,16 @@ class GraphService final : public HttpHandler {
   HttpResponse handle_bc_topk(const HttpRequest& request);
   HttpResponse handle_shutdown();
 
+  // sg_ itself is not GUARDED_BY(write_mu_): its read surface (pin(),
+  // epoch(), live_snapshots()) is lock-free reader-safe by the eager-mode
+  // contract.  Only the mutating apply() path needs the single-writer
+  // mutex, and ingest() below is the one place that calls it.
   stream::StreamingGraph sg_;
-  std::mutex write_mu_;  ///< serializes /ingest applies (single writer)
+  sync::Mutex write_mu_;  // guards: sg_.apply() — the single-writer ingest path
 
-  mutable std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_ = false;
+  mutable sync::Mutex shutdown_mu_;  // guards: shutdown_
+  sync::CondVar shutdown_cv_;
+  bool shutdown_ GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace snap::server

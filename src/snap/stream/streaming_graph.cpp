@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "snap/debug/validate.hpp"
 #include "snap/util/parallel.hpp"
+#include "snap/util/sync.hpp"
 
 namespace snap::stream {
 
@@ -147,7 +147,7 @@ SnapshotHandle StreamingGraph::publish_snapshot() const {
   // lock — pinning readers are never blocked behind a to_csr.
   auto snap = std::shared_ptr<const EpochSnapshot>(
       new EpochSnapshot(graph_.to_csr(), epoch(), live_));
-  std::lock_guard<std::mutex> lk(snap_mu_);
+  sync::MutexLock lk(snap_mu_);
   published_ = snap;
   return snap;
 }
@@ -155,7 +155,7 @@ SnapshotHandle StreamingGraph::publish_snapshot() const {
 SnapshotHandle StreamingGraph::pin() const {
   const std::uint64_t e = epoch();
   {
-    std::lock_guard<std::mutex> lk(snap_mu_);
+    sync::MutexLock lk(snap_mu_);
     // Eager mode serves whatever is currently published (snapshot
     // isolation: a pin racing an in-flight apply gets the previous epoch).
     // Lazy mode reuses the cache only when it matches the current epoch.
@@ -176,7 +176,7 @@ const CSRGraph& StreamingGraph::snapshot() const {
   SnapshotHandle h = pin();
   bool refreshed = false;
   {
-    std::lock_guard<std::mutex> lk(snap_mu_);
+    sync::MutexLock lk(snap_mu_);
     refreshed = legacy_.get() != h.get();
     legacy_ = h;
   }

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "snap/graph/csr_graph.hpp"
 #include "snap/graph/dynamic_graph.hpp"
 #include "snap/stream/update_batch.hpp"
+#include "snap/util/sync.hpp"
 
 namespace snap::stream {
 
@@ -166,6 +166,10 @@ class StreamingGraph {
   /// may run it; the swap itself happens under snap_mu_.
   SnapshotHandle publish_snapshot() const;
 
+  // Writer-owned state: graph_, observers_ and eager_ are mutated only by
+  // the (single) applying thread, never under snap_mu_ — the concurrency
+  // contract is "one writer", not a lock.  Readers reach the graph solely
+  // through pinned EpochSnapshots, which are immutable after publication.
   DynamicGraph graph_;
   std::vector<StreamObserver*> observers_;
   std::atomic<std::uint64_t> epoch_{0};
@@ -174,9 +178,10 @@ class StreamingGraph {
   // Snapshot publication state.  snap_mu_ guards only the shared_ptr swap /
   // copy — readers hold it for a pointer copy, the writer for a pointer
   // store, so neither side can block the other for more than that.
-  mutable std::mutex snap_mu_;
-  mutable SnapshotHandle published_;
-  mutable SnapshotHandle legacy_;  ///< keeps snapshot()'s reference alive
+  mutable sync::Mutex snap_mu_;  // guards: published_, legacy_
+  mutable SnapshotHandle published_ GUARDED_BY(snap_mu_);
+  /// Keeps snapshot()'s returned reference alive across epochs.
+  mutable SnapshotHandle legacy_ GUARDED_BY(snap_mu_);
   std::shared_ptr<std::atomic<std::int64_t>> live_ =
       std::make_shared<std::atomic<std::int64_t>>(0);
 };

@@ -1,20 +1,31 @@
 #include "snap/util/parallel.hpp"
 
+#include <atomic>
+
 namespace snap::parallel {
 
 namespace {
-int g_threads = 0;  // 0 = not yet initialized: use the OpenMP default
+// 0 = not yet initialized: use the OpenMP default.  Atomic because the
+// analytics service reads the thread count from every HTTP worker while
+// apply_serial()'s ThreadScope writes it — a latent plain-int data race
+// the thread-safety retrofit (PR 9) surfaced.  Relaxed ordering suffices:
+// the count is a tuning knob, not a synchronization edge.
+std::atomic<int> g_threads{0};
 }
 
 void set_num_threads(int t) {
   if (t < 1) t = 1;
-  g_threads = t;
+  g_threads.store(t, std::memory_order_relaxed);
   omp_set_num_threads(t);
 }
 
 int num_threads() {
-  if (g_threads == 0) g_threads = omp_get_max_threads();
-  return g_threads;
+  int t = g_threads.load(std::memory_order_relaxed);
+  if (t == 0) {
+    t = omp_get_max_threads();
+    g_threads.store(t, std::memory_order_relaxed);
+  }
+  return t;
 }
 
 int max_threads() { return omp_get_num_procs(); }

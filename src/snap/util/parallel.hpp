@@ -45,6 +45,15 @@ int max_threads();
 /// in normal builds, std::thread under TSan (see SNAP_TSAN above).  `body`
 /// must not assume the calls are concurrent — if the runtime delivers fewer
 /// threads, one thread runs several t values.
+///
+/// Lock discipline: team bodies are lock-free by design — every kernel and
+/// scratch pool (FrontierPool, Brandes SourceScratch, per-thread prepare
+/// buffers) hands each thread a disjoint slot indexed by t, and cross-slot
+/// reads happen only after the join.  There is deliberately no sync::Mutex
+/// anywhere on a kernel path; a team body that wants one is a design smell
+/// (see docs/CORRECTNESS.md "Lock catalog & capability annotations").
+/// Synchronization inside a team is limited to std::atomic (the dynamic
+/// scheduler's cursor, CAS accumulation under the `reduction-note` lint).
 template <typename F>
 void run_team(int nt, F&& body) {
   if (nt <= 1) {

@@ -1,0 +1,178 @@
+#pragma once
+
+// Capability-annotated synchronization primitives — the only place in the
+// SNAP library allowed to name std::mutex / std::condition_variable (the
+// `raw-mutex` lint rule enforces this; see docs/CORRECTNESS.md "Lock
+// catalog & capability annotations").
+//
+// Why wrappers instead of the std types: Clang's -Wthread-safety analysis
+// turns the locking discipline into a compile-time contract — a
+// GUARDED_BY(mu) field read without `mu` held, a double acquire, or a
+// scope that leaks a lock is a *build break*, not a TSan report that
+// depends on the schedule the tests happened to exercise.  The attributes
+// only attach to types we own, hence `sync::Mutex` / `sync::MutexLock` /
+// `sync::CondVar` below.  Under GCC (and any non-Clang compiler) every
+// macro expands to nothing and the wrappers are zero-cost forwarding
+// shims, so the annotated tree stays portable.
+//
+// Conventions (enforced by lint + CI):
+//   - every `sync::Mutex` member carries an adjacent `// guards: ...`
+//     comment naming the fields it protects (`guard-note` lint rule), so
+//     the lock catalog stays greppable;
+//   - the protected fields themselves carry GUARDED_BY(mu) (pointees:
+//     PT_GUARDED_BY) so the compiler enforces what the comment promises;
+//   - functions with locking side effects are annotated ACQUIRE / RELEASE
+//     / REQUIRES / EXCLUDES;
+//   - escape hatch: NO_THREAD_SAFETY_ANALYSIS on the function, plus a
+//     comment justifying why the analysis cannot see the invariant.
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (the canonical Clang thread-safety spelling).  They
+// expand to Clang attributes when the analysis is available and to nothing
+// elsewhere, so GCC builds see plain code.  Each is guarded by #ifndef so
+// an embedding project that already defines the canonical names wins.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SNAP_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SNAP_THREAD_ANNOTATION_
+#define SNAP_THREAD_ANNOTATION_(x)  // non-Clang: annotations compile away
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) SNAP_THREAD_ANNOTATION_(capability(x))
+#endif
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY SNAP_THREAD_ANNOTATION_(scoped_lockable)
+#endif
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) SNAP_THREAD_ANNOTATION_(guarded_by(x))
+#endif
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) SNAP_THREAD_ANNOTATION_(pt_guarded_by(x))
+#endif
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) SNAP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) SNAP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#endif
+#ifndef REQUIRES
+#define REQUIRES(...) SNAP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  SNAP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE
+#define ACQUIRE(...) SNAP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  SNAP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) SNAP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  SNAP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  SNAP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) SNAP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#endif
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) SNAP_THREAD_ANNOTATION_(assert_capability(x))
+#endif
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) SNAP_THREAD_ANNOTATION_(lock_returned(x))
+#endif
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SNAP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#endif
+
+namespace snap::sync {
+
+/// Mutual-exclusion capability over std::mutex.  Prefer the scoped
+/// `MutexLock`; call lock()/unlock() directly only where RAII cannot
+/// express the protocol (and the annotations still keep it honest).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle — for CondVar's adopt-lock dance only.  Going
+  /// through it anywhere else reintroduces exactly the unchecked locking
+  /// this header exists to eliminate.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock on a sync::Mutex (the SCOPED_CAPABILITY makes Clang
+/// track the critical section's extent: holding it past scope, or touching
+/// a guarded field outside one, is a compile error).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with sync::Mutex.  wait() REQUIRES the mutex,
+/// so a wait outside the critical section — the classic lost-wakeup bug —
+/// does not compile under Clang.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, reacquire `mu` before returning.
+  /// As with std::condition_variable, spurious wakeups happen: always
+  /// wait in a predicate loop —
+  ///
+  ///     sync::MutexLock lk(mu);
+  ///     while (!ready) cv.wait(mu);
+  ///
+  /// (a plain while over the guarded predicate, not a lambda overload: the
+  /// loop body reads the guarded field in a scope where the analysis can
+  /// see the lock, so the whole idiom stays compile-time checked).
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the capability accounting (caller
+    // still holds `mu`) stays truthful.
+    std::unique_lock<std::mutex> native(mu.native_handle(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace snap::sync

@@ -1,0 +1,45 @@
+// Negative-compile fixture (the control): correctly disciplined locking.
+// Must compile under every compiler, with and without -Werror=thread-safety
+// — if this breaks, the harness is asserting the wrong thing.
+#include "snap/util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    snap::sync::MutexLock lk(mu_);
+    ++value_;
+    cv_.notify_all();
+  }
+
+  int read() {
+    snap::sync::MutexLock lk(mu_);
+    return value_;
+  }
+
+  void wait_for_positive() {
+    snap::sync::MutexLock lk(mu_);
+    while (value_ <= 0) cv_.wait(mu_);
+  }
+
+  void manual_lock_cycle() {
+    mu_.lock();
+    ++value_;
+    mu_.unlock();
+  }
+
+ private:
+  snap::sync::Mutex mu_;  // guards: value_
+  int value_ GUARDED_BY(mu_) = 0;
+  snap::sync::CondVar cv_;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  c.manual_lock_cycle();
+  return c.read() == 2 ? 0 : 1;
+}

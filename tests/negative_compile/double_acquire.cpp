@@ -1,0 +1,20 @@
+// Negative-compile fixture: acquiring a capability that is already held
+// (self-deadlock on a non-recursive mutex).  Under Clang
+// -Werror=thread-safety this must NOT compile; under GCC the annotations
+// are no-ops and it must compile cleanly (though it would deadlock if run
+// — it never is; the harness only compiles it).
+#include "snap/util/sync.hpp"
+
+namespace {
+snap::sync::Mutex g_mu;  // guards: g_state
+int g_state GUARDED_BY(g_mu) = 0;
+}  // namespace
+
+int main() {
+  g_mu.lock();
+  g_mu.lock();  // violation: acquiring a mutex already held
+  ++g_state;
+  g_mu.unlock();
+  g_mu.unlock();
+  return g_state;
+}

@@ -1,0 +1,24 @@
+// Negative-compile fixture: reading a GUARDED_BY field without holding its
+// mutex.  Under Clang -Werror=thread-safety this must NOT compile; under
+// GCC the annotations are no-ops and it must compile cleanly.
+#include "snap/util/sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  int unlocked_read() {
+    return balance_;  // violation: balance_ requires mu_
+  }
+
+ private:
+  snap::sync::Mutex mu_;  // guards: balance_
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  return a.unlocked_read();
+}

@@ -123,9 +123,42 @@ TEST_F(ServiceTest, StatsMatchesOfflineGraph) {
   expected.set("num_edges", g.num_edges());
   expected.set("num_arcs", g.num_arcs());
   expected.set("directed", false);
+  // Exactly one epoch image alive: the published snapshot (the handler's
+  // own pin references the same object, not a new one).
+  expected.set("live_snapshots", 1);
   const HttpResult r = get("/stats");
   ASSERT_EQ(r.status, 200) << r.error;
   EXPECT_EQ(r.body, expected.dump());
+}
+
+TEST_F(ServiceTest, SnapshotGaugeReturnsToOneAfterQueries) {
+  seed();
+  // Work the service: ingests retire epochs while queries hold pins on
+  // them, then everything unpins as each handler returns.
+  for (int round = 0; round < 3; ++round) {
+    Value updates = Value::array();
+    Value u = Value::object();
+    u.set("op", "insert");
+    u.set("u", round);
+    u.set("v", round + 4);
+    updates.push_back(u);
+    Value doc = Value::object();
+    doc.set("updates", updates);
+    ASSERT_EQ(
+        http_request("127.0.0.1", port_, "POST", "/ingest", doc.dump()).status,
+        200);
+    ASSERT_EQ(get("/neighbors/0").status, 200);
+    ASSERT_EQ(get("/cc/0").status, 200);
+    ASSERT_EQ(get("/clustering").status, 200);
+  }
+  // Every query handler has returned (we read its full response), so all
+  // pins are dropped: only the published snapshot may remain, and /stats
+  // must report the same gauge it exposes.
+  EXPECT_EQ(service_->streaming().live_snapshots(), 1);
+  Value stats;
+  ASSERT_TRUE(snap::json::parse(get("/stats").body, &stats, nullptr));
+  EXPECT_EQ(stats.get("live_snapshots").as_int64(), 1);
+  EXPECT_EQ(stats.get("epoch").as_int64(), 4);
 }
 
 TEST_F(ServiceTest, DegreeAndNeighborsMatchOfflineGraph) {

@@ -1,0 +1,15 @@
+// Fixture: a sync::Mutex member without an adjacent 'guards:' comment must
+// trigger [guard-note] — the greppable lock catalog requires every mutex
+// declaration to name what it protects.
+namespace fixture {
+
+namespace sync {
+class Mutex {};
+}  // namespace sync
+
+struct Registry {
+  sync::Mutex mu_;
+  int entries_ = 0;
+};
+
+}  // namespace fixture

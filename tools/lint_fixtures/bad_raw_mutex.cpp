@@ -1,0 +1,17 @@
+// Fixture: bare std synchronization primitives outside snap/util/sync.hpp
+// must trigger [raw-mutex] — they are invisible to -Wthread-safety.
+#include <mutex>
+
+namespace fixture {
+
+struct Cache {
+  std::mutex mu;  // finding: raw std::mutex member
+  int value = 0;
+
+  int read() {
+    std::lock_guard<std::mutex> lk(mu);  // finding: raw std::lock_guard
+    return value;
+  }
+};
+
+}  // namespace fixture

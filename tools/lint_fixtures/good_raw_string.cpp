@@ -1,0 +1,27 @@
+// Fixture: raw string literals must not desync the comment/string
+// stripper.  Before the R"(...)" fix, the ')"' and embedded quotes below
+// flipped the matcher back into code state mid-literal, fabricating
+// [raw-mutex]/[randomness] findings from string *contents* — this file
+// must lint clean.
+namespace fixture {
+
+// Embedded quotes: the naive matcher toggled string state at each '"',
+// leaving `std::mutex` visible as code.
+inline const char* kJson =
+    R"({"primitive":"std::mutex","cv":"std::condition_variable"})";
+
+// Delimited, multi-line: contents mention every rule's trigger text.
+inline const char* kDoc = R"doc(
+  std::mutex guidance, rand() seeding, #pragma omp critical notes,
+  std::function<void()> callbacks — all inside one raw string.
+)doc";
+
+// A ')"' mid-literal: the classic desync (everything after it leaked
+// into the code view).
+inline const char* kRegex = R"re(\)" std::lock_guard<std::mutex> )re";
+
+inline bool all_present() {
+    return kJson != nullptr && kDoc != nullptr && kRegex != nullptr;
+}
+
+}  // namespace fixture

@@ -23,6 +23,16 @@ that are unique to this codebase's determinism and performance guarantees:
                     value is order-dependent (and hence not thread-count
                     reproducible).  Keeps the float-determinism contract
                     (docs/CORRECTNESS.md) auditable by grep.
+  raw-mutex         No bare std::mutex / std::condition_variable /
+                    std::lock_guard (or friends) in snap library code
+                    outside snap/util/sync.hpp.  Locking must go through
+                    the capability-annotated sync:: wrappers so Clang's
+                    -Wthread-safety analysis sees every acquisition.
+  guard-note        Every `sync::Mutex` member declaration needs an
+                    adjacent `guards:` comment naming the fields it
+                    protects, keeping the lock catalog
+                    (docs/CORRECTNESS.md) greppable and in sync with the
+                    GUARDED_BY annotations.
 
 Suppress a finding with `// lint:allow(<rule>)` on the offending line.
 
@@ -30,11 +40,16 @@ Usage:
   lint_snap.py --root <repo-root>         lint src/snap; exit 1 on findings
   lint_snap.py --self-test [--root ...]   run the fixture suite in
                                           tools/lint_fixtures
+  lint_snap.py --github-summary PATH      also append a per-rule finding
+                                          count table (markdown) to PATH;
+                                          defaults to $GITHUB_STEP_SUMMARY
+                                          when set
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import re
 import sys
@@ -52,10 +67,38 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+RAW_STRING_PREFIX = re.compile(r"(?:u8|u|U|L)?R$")
+
+
+def raw_string_span(text: str, i: int) -> int | None:
+    """If the '\"' at text[i] opens a C++ raw string literal
+    (R"delim(...)delim", with an optional u8/u/U/L encoding prefix),
+    return the index one past its closing quote; else None."""
+    m = RAW_STRING_PREFIX.search(text, max(0, i - 3), i)
+    if not m:
+        return None
+    start = m.start()
+    if start > 0 and (text[start - 1].isalnum() or text[start - 1] == "_"):
+        return None  # identifier ending in R, not a raw-string prefix
+    paren = text.find("(", i + 1)
+    # The delimiter is at most 16 chars and contains no whitespace/parens.
+    if paren == -1 or paren - (i + 1) > 16:
+        return None
+    delim = text[i + 1 : paren]
+    if any(ch in ' \t\n\\)"' for ch in delim):
+        return None
+    close = text.find(")" + delim + '"', paren + 1)
+    if close == -1:
+        return len(text)  # unterminated: swallow the rest of the file
+    return close + len(delim) + 2
+
+
 def strip_comments_and_strings(text: str) -> list[str]:
     """Return the file's lines with comments and string/char literals
     blanked out (replaced by spaces, preserving line structure), so the
-    rules below match only real code."""
+    rules below match only real code.  Raw string literals
+    (R"(...)"/R"delim(...)delim") are handled as a unit — their contents
+    may hold unbalanced quotes that would otherwise desync the matcher."""
     out = []
     i = 0
     n = len(text)
@@ -73,9 +116,17 @@ def strip_comments_and_strings(text: str) -> list[str]:
                 out.append("  ")
                 i += 2
             elif c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
+                end = raw_string_span(text, i)
+                if end is not None:
+                    # Blank the whole literal, newlines preserved (raw
+                    # strings may span lines).
+                    out.extend(ch if ch == "\n" else " "
+                               for ch in text[i:end])
+                    i = end
+                else:
+                    state = "string"
+                    out.append(" ")
+                    i += 1
             elif c == "'":
                 state = "char"
                 out.append(" ")
@@ -197,8 +248,56 @@ def check_reduction_note(path, raw, code):
                           "that this sum is accumulation-order-dependent")
 
 
+RAW_MUTEX = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+
+
+def in_sync_header(path: pathlib.Path) -> bool:
+    return path.name == "sync.hpp" and path.parent.name == "util"
+
+
+def check_raw_mutex(path, raw, code):
+    if in_sync_header(path):
+        return  # the one place allowed to wrap the std primitives
+    for i, line in enumerate(code):
+        m = RAW_MUTEX.search(line)
+        if m and not suppressed(raw, i, "raw-mutex"):
+            yield Finding(path, i + 1, "raw-mutex",
+                          f"std::{m.group(1)} outside snap/util/sync.hpp is "
+                          "invisible to Clang's -Wthread-safety analysis; "
+                          "use sync::Mutex / sync::MutexLock / sync::CondVar "
+                          "so the lock discipline stays compile-time checked")
+
+
+# A sync::Mutex *declaration* (member or local): type, name, then ';', an
+# initializer or a brace — not a `sync::Mutex&` parameter or return type.
+GUARD_MUTEX_DECL = re.compile(r"\bsync::Mutex\s+\w+\s*[;={]")
+
+
+def check_guard_note(path, raw, code):
+    if in_sync_header(path):
+        return
+    for i, line in enumerate(code):
+        if not GUARD_MUTEX_DECL.search(line):
+            continue
+        if suppressed(raw, i, "guard-note"):
+            continue
+        window = raw[max(0, i - 2) : i + 2]
+        if not any("guards:" in w for w in window):
+            yield Finding(path, i + 1, "guard-note",
+                          "sync::Mutex declaration without an adjacent "
+                          "'guards:' comment naming the fields it protects; "
+                          "the greppable lock catalog "
+                          "(docs/CORRECTNESS.md) must stay complete")
+
+
 CHECKS = [check_randomness, check_std_function, check_omp_critical,
-          check_reduction_note]
+          check_reduction_note, check_raw_mutex, check_guard_note]
+
+RULE_NAMES = ["randomness", "std-function", "omp-critical",
+              "reduction-note", "raw-mutex", "guard-note"]
 
 
 def lint_file(path: pathlib.Path) -> list[Finding]:
@@ -264,6 +363,18 @@ def self_test(root: pathlib.Path) -> int:
     return 1 if failures else 0
 
 
+def write_summary(findings: list[Finding], dest: pathlib.Path) -> None:
+    """Append a per-rule finding-count markdown table (CI step summary)."""
+    counts = {rule: 0 for rule in RULE_NAMES}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    lines = ["### lint_snap findings", "", "| rule | findings |", "|---|---|"]
+    lines += [f"| `{rule}` | {count} |" for rule, count in counts.items()]
+    lines.append("")
+    with dest.open("a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", type=pathlib.Path,
@@ -271,6 +382,10 @@ def main() -> int:
                     help="repository root (default: inferred from this file)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the lint_fixtures suite instead of linting src")
+    ap.add_argument("--github-summary", type=pathlib.Path,
+                    default=None, metavar="PATH",
+                    help="append a per-rule count table to PATH (default: "
+                         "$GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args()
 
     if args.self_test:
@@ -279,6 +394,12 @@ def main() -> int:
     findings = lint_tree(args.root)
     for f in findings:
         print(f)
+    summary = args.github_summary
+    if summary is None:
+        env = os.environ.get("GITHUB_STEP_SUMMARY")
+        summary = pathlib.Path(env) if env else None
+    if summary is not None:
+        write_summary(findings, summary)
     if findings:
         print(f"lint_snap: {len(findings)} finding(s)", file=sys.stderr)
         return 1
