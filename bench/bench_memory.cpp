@@ -1,14 +1,20 @@
 // bench_memory: the memory-system performance bench.
 //
-// Runs BFS, connected components, sampled betweenness, and (in full mode)
-// Louvain over one corpus instance in up to five memory layouts:
+// Runs BFS, connected components, sampled betweenness, PageRank (10
+// fixed-point iterations), and (in full mode) Louvain over one corpus
+// instance in up to five memory layouts:
 //
 //   baseline     the graph exactly as generated/loaded
 //   degree       relabel_by_degree pre-pass (hubs first)
 //   hub          relabel_by_hub_cluster pre-pass (hub block + BFS tail)
 //   compressed   delta/varint CompressedCSR built over the hub ordering
-//                (BFS only — the bandwidth-bound kernel the encoding targets)
-//   partitioned  PartitionedCSR, owner-computes kernels (BFS, CC, degrees)
+//                (BFS and PageRank — the bandwidth-bound kernels the
+//                encoding targets)
+//   partitioned  PartitionedCSR, owner-computes kernels (BFS, CC, degrees,
+//                PageRank with sum-combined boundary exchange; the run also
+//                emits a pagerank-exchange:partitioned record carrying the
+//                per-iteration cross-shard message volume and how much the
+//                combiner cut it vs a naive per-cut-edge push)
 //
 // Every kernel uses the same logical source vertices in every layout (ids
 // mapped through the relabeling permutation), so the numbers isolate the
@@ -26,6 +32,7 @@
 //   --shards K      PartitionedCSR shard count (default max(4, threads))
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -39,6 +46,7 @@
 #include "snap/graph/reorder.hpp"
 #include "snap/kernels/bfs.hpp"
 #include "snap/kernels/connected_components.hpp"
+#include "snap/kernels/pagerank.hpp"
 #include "snap/partition/partitioned_csr.hpp"
 #include "snap/util/parallel.hpp"
 #include "snap/util/timer.hpp"
@@ -174,6 +182,12 @@ int main(int argc, char** argv) {
       {"hub", &by_hub.graph, &by_hub.old_to_new},
   };
 
+  // Fixed work for cross-layout comparability: exactly 10 iterations,
+  // no early exit (tol = 0).
+  snap::PageRankParams prp;
+  prp.max_iters = 10;
+  prp.tol = 0.0;
+
   // --- Kernels over the flat layouts ------------------------------------
   std::map<std::string, double> times;  // "<kernel>:<layout>" -> seconds
   for (const Layout& l : layouts) {
@@ -200,6 +214,11 @@ int main(int argc, char** argv) {
     });
     rec("bc:" + l.name, times["bc:" + l.name]);
 
+    times["pagerank:" + l.name] = time_best(reps, sink, [&] {
+      return snap::pagerank(lg, prp).rank[0];
+    });
+    rec("pagerank:" + l.name, times["pagerank:" + l.name]);
+
     if (!smoke) {
       times["louvain:" + l.name] = time_best(1, sink, [&] {
         return snap::louvain(lg).community.modularity;
@@ -216,6 +235,11 @@ int main(int argc, char** argv) {
           snap::bfs_compressed(compressed, src).num_visited);
     });
     rec("bfs:compressed", times["bfs:compressed"]);
+
+    times["pagerank:compressed"] = time_best(reps, sink, [&] {
+      return snap::pagerank_compressed(compressed, prp).rank[0];
+    });
+    rec("pagerank:compressed", times["pagerank:compressed"]);
   }
 
   // --- Partitioned (owner-computes BFS / CC / degrees) -------------------
@@ -232,11 +256,47 @@ int main(int argc, char** argv) {
   });
   rec("degree:partitioned", times["degree:partitioned"]);
 
+  snap::PartitionedPageRank ppr;
+  times["pagerank:partitioned"] = time_best(reps, sink, [&] {
+    ppr = part.pagerank(prp);
+    return ppr.result.rank[0];
+  });
+  rec("pagerank:partitioned", times["pagerank:partitioned"]);
+
+  // Cross-shard traffic of the owner-computes PageRank.  The counters are
+  // deterministic (a pure function of graph and cut), recorded with
+  // seconds = 0 so bench_compare archives them without time-gating:
+  // messages_per_iter is what actually crossed shard boundaries,
+  // naive_per_iter is what a per-cut-edge push would have sent.
+  {
+    const auto iters = static_cast<std::uint64_t>(
+        std::max(1, ppr.result.iterations));
+    const std::uint64_t per_iter = ppr.boundary_messages / iters;
+    const std::uint64_t naive_per_iter =
+        (ppr.boundary_messages + ppr.combined_messages) / iters;
+    JsonReport::Params msg_params = params;
+    msg_params.emplace_back("shards", std::to_string(part.num_shards()));
+    msg_params.emplace_back("messages_per_iter", std::to_string(per_iter));
+    msg_params.emplace_back("naive_per_iter", std::to_string(naive_per_iter));
+    msg_params.emplace_back("combined_total",
+                            std::to_string(ppr.combined_messages));
+    report.record(dataset, msg_params, threads,
+                  "pagerank-exchange:partitioned", 0.0);
+    std::printf("pagerank exchange: %llu msgs/iter combined vs %llu naive "
+                "(%.2fx reduction, boundary arcs %lld)\n",
+                static_cast<unsigned long long>(per_iter),
+                static_cast<unsigned long long>(naive_per_iter),
+                per_iter > 0 ? static_cast<double>(naive_per_iter) /
+                                   static_cast<double>(per_iter)
+                             : 1.0,
+                static_cast<long long>(part.boundary_arcs()));
+  }
+
   // --- Speedup table vs baseline ----------------------------------------
   std::printf("\n%-10s %-12s %10s %10s\n", "kernel", "layout", "seconds",
               "speedup");
-  const std::vector<std::string> kernels = {"bfs", "cc", "bc", "louvain",
-                                            "degree"};
+  const std::vector<std::string> kernels = {"bfs", "cc", "bc", "pagerank",
+                                            "louvain", "degree"};
   for (const std::string& k : kernels) {
     const auto base = times.find(k + ":baseline");
     for (const auto& [key, sec] : times) {

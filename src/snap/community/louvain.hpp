@@ -12,9 +12,14 @@ namespace snap {
 /// Which move-phase engine louvain() runs.  `kAuto` picks the parallel
 /// engine for levels large enough to amortize the fork/join cost and the
 /// serial reference otherwise; the explicit values exist for the
-/// differential tests, which require the two paths to produce bitwise
+/// differential tests, which require every path to produce bitwise
 /// identical hierarchies (same semantics, independent orchestration).
-enum class LouvainPath { kAuto, kSerial, kParallel };
+/// `kSharded` runs the owner-computes move phase: contiguous vertex shards
+/// evaluate their bucket members against per-shard replicas of the frozen
+/// (labels, volume) state, broadcast accepted moves through the boundary
+/// exchange layer between sub-rounds, and apply them in ascending vertex
+/// order — the same sequence as the flat engines, hence the same bits.
+enum class LouvainPath { kAuto, kSerial, kParallel, kSharded };
 
 /// Parameters of the multilevel Louvain engine.
 struct LouvainParams {
@@ -35,6 +40,9 @@ struct LouvainParams {
   int num_buckets = 8;
   /// Stop coarsening when a level improves modularity by less than this.
   double min_level_gain = 1e-6;
+  /// Shard count for LouvainPath::kSharded; 0 = parallel::num_threads().
+  /// Ignored by the other paths.
+  int num_shards = 0;
   /// After the hierarchy converges, run extra local-move sweeps on the
   /// *original* graph seeded with the final flat membership (the standard
   /// refinement pass: it can split badly-placed vertices back out of

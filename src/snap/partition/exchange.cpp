@@ -1,0 +1,105 @@
+#include "snap/partition/exchange.hpp"
+
+#include <string>
+
+namespace snap {
+
+namespace {
+
+std::uint64_t vec_total(const std::vector<std::uint64_t>& v) {
+  std::uint64_t s = 0;
+  for (const std::uint64_t x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t ExchangeLedger::total_staged() const { return vec_total(staged); }
+
+std::uint64_t ExchangeLedger::total_delivered() const {
+  return vec_total(delivered);
+}
+
+std::uint64_t ExchangeLedger::total_combined() const {
+  return vec_total(combined);
+}
+
+namespace debug {
+
+ValidationReport validate(const ExchangeLedger& ledger,
+                          const std::vector<std::uint64_t>& buffered) {
+  ValidationReport r;
+  r.subject = "Exchange";
+  const int k = ledger.num_shards;
+  const auto channels = static_cast<std::size_t>(k) * static_cast<std::size_t>(k);
+
+  ++r.checks_run;
+  if (k <= 0) {
+    r.errors.push_back("num_shards " + std::to_string(k) +
+                       " is not positive");
+    return r;
+  }
+  ++r.checks_run;
+  if (ledger.staged.size() != channels || ledger.delivered.size() != channels ||
+      ledger.writer.size() != channels || buffered.size() != channels) {
+    r.errors.push_back(
+        "ledger/buffer shape mismatch: expected " + std::to_string(channels) +
+        " channels, staged " + std::to_string(ledger.staged.size()) +
+        ", delivered " + std::to_string(ledger.delivered.size()) +
+        ", writer " + std::to_string(ledger.writer.size()) + ", buffered " +
+        std::to_string(buffered.size()));
+    return r;
+  }
+  ++r.checks_run;
+  if (ledger.combined.size() != static_cast<std::size_t>(k))
+    r.errors.push_back("combined counter has " +
+                       std::to_string(ledger.combined.size()) +
+                       " entries, expected one per sender shard (" +
+                       std::to_string(k) + ")");
+
+  for (int s = 0; s < k; ++s) {
+    for (int t = 0; t < k; ++t) {
+      const std::size_t ch = static_cast<std::size_t>(s) *
+                                 static_cast<std::size_t>(k) +
+                             static_cast<std::size_t>(t);
+      const std::string name = "channel (" + std::to_string(s) + " -> " +
+                               std::to_string(t) + ")";
+      // Exactly-once delivery: delivered never exceeds staged, and whatever
+      // is staged-but-undelivered must still be sitting in the buffer.
+      ++r.checks_run;
+      if (ledger.delivered[ch] > ledger.staged[ch])
+        r.errors.push_back(name + " delivered " +
+                           std::to_string(ledger.delivered[ch]) +
+                           " messages but only " +
+                           std::to_string(ledger.staged[ch]) + " were staged");
+      ++r.checks_run;
+      const std::uint64_t pending =
+          ledger.staged[ch] >= ledger.delivered[ch]
+              ? ledger.staged[ch] - ledger.delivered[ch]
+              : 0;
+      if (buffered[ch] != pending)
+        r.errors.push_back(
+            name + " holds " + std::to_string(buffered[ch]) +
+            " messages but the ledger accounts for " + std::to_string(pending) +
+            " pending (staged " + std::to_string(ledger.staged[ch]) +
+            ", delivered " + std::to_string(ledger.delivered[ch]) + ")");
+      // Round-end emptiness: the validator runs after delivery phases, when
+      // every channel must be drained.
+      ++r.checks_run;
+      if (buffered[ch] != 0)
+        r.errors.push_back(name + " not empty at round end: " +
+                           std::to_string(buffered[ch]) +
+                           " undelivered message(s)");
+      // Single-writer channels (owner-only writes).
+      ++r.checks_run;
+      if (ledger.writer[ch] != -1 && ledger.writer[ch] != s)
+        r.errors.push_back(name + " was staged into by shard " +
+                           std::to_string(ledger.writer[ch]) +
+                           " (owner-only writes violated)");
+    }
+  }
+  return r;
+}
+
+}  // namespace debug
+}  // namespace snap

@@ -1,0 +1,268 @@
+#pragma once
+
+// Boundary-exchange comms layer for shard-parallel kernels (ROADMAP item 5).
+//
+// Every owner-computes kernel has the same communication shape: thread s
+// sweeps shard s's vertices, writes only state it owns, and batches anything
+// that crosses a shard boundary into a per-(sender, target) outbox; after
+// the fork/join barrier the target's owner drains its inboxes.  PR 7 wired
+// that shape directly into the BFS and CC bodies; Exchange<Msg> factors it
+// out so new kernels (PageRank mass pushes, Louvain move broadcasts) reuse
+// one audited implementation instead of re-growing their own.
+//
+// Determinism.  Channel (s, t) is written only by shard s's body — a plain
+// append buffer, no locks, no atomics — and drained only by shard t after
+// the barrier, in (sender shard ascending, send sequence) order.  Because
+// each shard body is itself sequential, the full delivery sequence at every
+// receiver is a pure function of what the kernel staged, independent of
+// thread count and of how run_team folds shards onto threads.
+//
+// Transport-agnosticism.  The API moves plain message buffers: senders call
+// send(src, dst, msg), receivers consume deliver(dst, fn).  Nothing in the
+// contract assumes shared memory beyond the buffers themselves — a
+// multi-process port replaces the vector append/drain with serialized
+// sends/receives per channel and keeps every kernel above unchanged (the
+// ROADMAP's road to multi-node).
+//
+// Combining.  VertexCombiner<Value> is an optional send-side hook that
+// folds messages targeting the same destination vertex into one before
+// staging (sum-combine).  For per-edge pushes like PageRank's rank mass this
+// cuts cross-shard traffic from O(cut edges) to O(boundary vertices); the
+// merged-away count lands in the ledger so benches can report the saving.
+// Combining is only legal when the kernel's accumulation is exact —
+// SNAP's PageRank works in 64-bit fixed point for precisely this reason
+// (see docs/ALGORITHMS.md "PageRank & the exchange layer").
+//
+// Accounting.  Every Exchange keeps an ExchangeLedger: per-channel lifetime
+// staged/delivered counts plus the per-sender combined count.  The level-2
+// validator checks the ledger against the live buffers (every staged message
+// delivered exactly once, single-writer channels, empty channels at round
+// end); the mutation tests corrupt a channel through debug::Access to prove
+// the validator catches it.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "snap/debug/check.hpp"
+#include "snap/debug/validate.hpp"
+#include "snap/graph/types.hpp"
+
+namespace snap {
+
+/// Lifetime accounting of one Exchange: per-channel staged/delivered message
+/// counts, the per-sender combiner savings, and the single-writer witness.
+/// All counters are written under the same single-writer discipline as the
+/// channels themselves (sender updates staged/writer, receiver updates
+/// delivered, phases separated by the team barrier), so the ledger needs no
+/// synchronization of its own.
+struct ExchangeLedger {
+  std::int32_t num_shards = 0;
+  /// Per channel (src * k + dst): messages ever staged.
+  std::vector<std::uint64_t> staged;
+  /// Per channel (src * k + dst): messages ever delivered.
+  std::vector<std::uint64_t> delivered;
+  /// Per SENDER shard: messages merged away by a combiner before staging
+  /// (i.e. traffic a naive per-edge push would have sent on top of staged).
+  std::vector<std::uint64_t> combined;
+  /// Per channel: shard that last staged into it, -1 = never.  Channels are
+  /// single-writer by contract (writer == src); the validator checks it.
+  std::vector<std::int32_t> writer;
+
+  [[nodiscard]] std::uint64_t total_staged() const;
+  [[nodiscard]] std::uint64_t total_delivered() const;
+  [[nodiscard]] std::uint64_t total_combined() const;
+};
+
+namespace debug {
+
+/// Exchange invariants, checked against a snapshot of the live buffer sizes
+/// (`buffered[ch]` = messages currently staged-and-undelivered in channel
+/// ch): ledger shape matches num_shards², staged ≥ delivered per channel,
+/// buffered == staged − delivered (every message delivered exactly once,
+/// none invented), channels empty at round end, and every channel's writer
+/// is either -1 or the channel's own sender shard (owner-only writes).
+[[nodiscard]] ValidationReport validate(
+    const ExchangeLedger& ledger, const std::vector<std::uint64_t>& buffered);
+
+}  // namespace debug
+
+/// Typed per-(sender, target)-shard message channels with deterministic
+/// (sender shard, send sequence) delivery order.  See the file comment for
+/// the full contract; in short:
+///
+///   staging phase   shard s's body calls send(s, t, msg) freely
+///   --- team barrier ---
+///   delivery phase  shard t's body calls deliver(t, fn); channels drain in
+///                   sender order and are left empty
+///
+/// One Exchange may run any number of staging/delivery rounds.
+template <typename Msg>
+class Exchange {
+ public:
+  explicit Exchange(int num_shards)
+      : k_(num_shards),
+        box_(static_cast<std::size_t>(num_shards) *
+             static_cast<std::size_t>(num_shards)) {
+    SNAP_ASSERT(num_shards > 0, "Exchange: num_shards ", num_shards,
+                " must be positive");
+    ledger_.num_shards = num_shards;
+    ledger_.staged.assign(box_.size(), 0);
+    ledger_.delivered.assign(box_.size(), 0);
+    ledger_.combined.assign(static_cast<std::size_t>(num_shards), 0);
+    ledger_.writer.assign(box_.size(), -1);
+  }
+
+  [[nodiscard]] int num_shards() const { return k_; }
+
+  /// Stage `m` for delivery to shard `dst`.  Must be called from shard
+  /// `src`'s body only: channel (src, dst) is single-writer by contract,
+  /// which is what keeps the whole layer lock-free.
+  void send(int src, int dst, const Msg& m) {
+    SNAP_DCHECK(src >= 0 && src < k_, "Exchange::send: sender ", src,
+                " out of [0, ", k_, ")");
+    SNAP_DCHECK(dst >= 0 && dst < k_, "Exchange::send: target ", dst,
+                " out of [0, ", k_, ")");
+    const std::size_t ch = channel_index(src, dst);
+    box_[ch].push_back(m);
+    ++ledger_.staged[ch];
+    ledger_.writer[ch] = src;
+  }
+
+  /// Deliver every message staged for shard `dst` — `fn(const Msg&)` — and
+  /// clear the drained channels.  Must be called from shard `dst`'s body,
+  /// after the barrier ending the staging phase.  Channels drain in sender
+  /// order (s = 0..k-1) and each channel replays its messages in send order.
+  template <typename F>
+  void deliver(int dst, F&& fn) {
+    SNAP_DCHECK(dst >= 0 && dst < k_, "Exchange::deliver: target ", dst,
+                " out of [0, ", k_, ")");
+    for (int s = 0; s < k_; ++s) {
+      const std::size_t ch = channel_index(s, dst);
+      auto& inbox = box_[ch];
+      for (const Msg& m : inbox) fn(m);
+      ledger_.delivered[ch] += inbox.size();
+      inbox.clear();
+    }
+  }
+
+  /// Credit `merged` messages as combined away by shard `src`'s combiner
+  /// (VertexCombiner::flush calls this; benches read it off the ledger).
+  void note_combined(int src, std::uint64_t merged) {
+    SNAP_DCHECK(src >= 0 && src < k_, "Exchange::note_combined: sender ", src,
+                " out of [0, ", k_, ")");
+    ledger_.combined[static_cast<std::size_t>(src)] += merged;
+  }
+
+  /// True when every channel has been drained (round complete).
+  [[nodiscard]] bool all_empty() const {
+    for (const auto& ch : box_)
+      if (!ch.empty()) return false;
+    return true;
+  }
+
+  [[nodiscard]] const ExchangeLedger& ledger() const { return ledger_; }
+
+  /// Snapshot of live per-channel buffer sizes (validator input).
+  [[nodiscard]] std::vector<std::uint64_t> buffered_counts() const {
+    std::vector<std::uint64_t> out(box_.size());
+    for (std::size_t ch = 0; ch < box_.size(); ++ch)
+      out[ch] = static_cast<std::uint64_t>(box_[ch].size());
+    return out;
+  }
+
+ private:
+  friend struct debug::Access;
+
+  [[nodiscard]] std::size_t channel_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(k_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int k_ = 0;
+  std::vector<std::vector<Msg>> box_;  ///< k*k channels, (src, dst) major
+  ExchangeLedger ledger_;
+};
+
+namespace debug {
+
+/// SNAP_VALIDATE surface for a whole Exchange: ledger vs live buffers.
+template <typename Msg>
+[[nodiscard]] ValidationReport validate(const Exchange<Msg>& ex) {
+  return validate(ex.ledger(), ex.buffered_counts());
+}
+
+}  // namespace debug
+
+/// A message addressed to one destination vertex.  The unit every combiner
+/// works in, and the payload of the PageRank mass push and CC label push.
+template <typename Value>
+struct VertexMessage {
+  vid_t dest = kInvalidVid;
+  Value value{};
+};
+
+/// Send-side sum-combiner: a dense stamped accumulator over the new-id space
+/// that folds every add() targeting the same destination vertex into one
+/// pending VertexMessage.  flush() stages one message per touched vertex in
+/// FIRST-TOUCH order — the sender's sweep order, hence deterministic — and
+/// credits the merged-away count to the exchange ledger.
+///
+/// Only use with exactly-associative Value accumulation (integers, fixed
+/// point): combining reorders the receiver's additions, which is invisible
+/// only when addition is exact.
+template <typename Value>
+class VertexCombiner {
+ public:
+  /// Size the accumulator for destination ids in [0, n).
+  void init(vid_t n) {
+    acc_.assign(static_cast<std::size_t>(n), Value{});
+    stamp_.assign(static_cast<std::size_t>(n), 0);
+    touched_.clear();
+    tick_ = 0;
+    merged_ = 0;
+  }
+
+  /// Start a staging round: forget previous accumulations in O(1).
+  void begin_round() {
+    ++tick_;
+    touched_.clear();
+    merged_ = 0;
+  }
+
+  /// Fold `v` into the pending message for `dest`.
+  void add(vid_t dest, Value v) {
+    const auto d = static_cast<std::size_t>(dest);
+    SNAP_DCHECK(d < acc_.size(), "VertexCombiner::add: dest ", dest,
+                " out of [0, ", acc_.size(), ")");
+    if (stamp_[d] != tick_) {
+      stamp_[d] = tick_;
+      acc_[d] = v;
+      touched_.push_back(dest);
+    } else {
+      acc_[d] += v;
+      ++merged_;
+    }
+  }
+
+  /// Stage one combined message per touched destination (first-touch order)
+  /// into `ex` as shard `src`, routing each to `owner(dest)`, and credit the
+  /// merged count to the ledger.
+  template <typename Msg, typename OwnerFn>
+  void flush(Exchange<Msg>& ex, int src, OwnerFn&& owner) {
+    for (const vid_t d : touched_)
+      ex.send(src, owner(d), Msg{d, acc_[static_cast<std::size_t>(d)]});
+    ex.note_combined(src, merged_);
+  }
+
+  [[nodiscard]] std::uint64_t merged() const { return merged_; }
+
+ private:
+  std::vector<Value> acc_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<vid_t> touched_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t merged_ = 0;
+};
+
+}  // namespace snap

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "snap/debug/check.hpp"
+#include "snap/partition/exchange.hpp"
 #include "snap/util/parallel.hpp"
 
 namespace snap {
@@ -138,10 +139,9 @@ std::vector<std::int64_t> PartitionedCSR::bfs_distances(vid_t source) const {
 
   std::int64_t level = 0;
   bool any = true;
-  // Outboxes: box(s -> t) holds new-ids shard s discovered in shard t this
-  // level; owners drain their column after the barrier.
-  std::vector<std::vector<vid_t>> box(static_cast<std::size_t>(k) *
-                                      static_cast<std::size_t>(k));
+  // Boundary exchange: shard s stages the new-ids it discovered in shard t
+  // this level; owners drain their channels after the barrier.
+  Exchange<vid_t> ex(k);
   while (any) {
     std::vector<std::vector<vid_t>> next(static_cast<std::size_t>(k));
     // Phase 1: owner-computes expansion; local claims write owned dist
@@ -162,9 +162,7 @@ std::vector<std::int64_t> PartitionedCSR::bfs_distances(vid_t source) const {
               local_next.push_back(w);
             }
           } else {
-            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
-                static_cast<std::size_t>(t)]
-                .push_back(w);
+            ex.send(s, t, w);
           }
         }
       }
@@ -173,18 +171,12 @@ std::vector<std::int64_t> PartitionedCSR::bfs_distances(vid_t source) const {
     // sender order — deterministic — claiming still-unreached vertices.
     for_each_shard(k, [&](int t) {
       auto& local_next = next[static_cast<std::size_t>(t)];
-      for (int s = 0; s < k; ++s) {
-        auto& inbox =
-            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
-                static_cast<std::size_t>(t)];
-        for (const vid_t w : inbox) {
-          if (dist[static_cast<std::size_t>(w)] == -1) {
-            dist[static_cast<std::size_t>(w)] = level + 1;
-            local_next.push_back(w);
-          }
+      ex.deliver(t, [&](const vid_t w) {
+        if (dist[static_cast<std::size_t>(w)] == -1) {
+          dist[static_cast<std::size_t>(w)] = level + 1;
+          local_next.push_back(w);
         }
-        inbox.clear();
-      }
+      });
     });
     any = false;
     for (int s = 0; s < k; ++s)
@@ -192,6 +184,7 @@ std::vector<std::int64_t> PartitionedCSR::bfs_distances(vid_t source) const {
     frontier.swap(next);
     if (any) ++level;
   }
+  SNAP_VALIDATE(ex);
 
   // Back to original ids.
   std::vector<std::int64_t> out(static_cast<std::size_t>(n));
@@ -259,9 +252,7 @@ Components PartitionedCSR::components() const {
   // Boundary rounds: push my label along every cross-shard arc; owners
   // fold candidate minima into the target's class and re-broadcast within
   // the shard.  Quiescence = global fixed point (min label per component).
-  using Candidate = std::pair<vid_t, vid_t>;  // (target new-id, label)
-  std::vector<std::vector<Candidate>> box(static_cast<std::size_t>(k) *
-                                          static_cast<std::size_t>(k));
+  Exchange<VertexMessage<vid_t>> ex(k);  // (target new-id, candidate label)
   std::vector<std::uint8_t> changed(static_cast<std::size_t>(k), 1);
   bool any = true;
   while (any) {
@@ -275,9 +266,7 @@ Components PartitionedCSR::components() const {
           const vid_t w = sh.adj[static_cast<std::size_t>(a)];
           const int t = owner(w);
           if (t != s)
-            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
-                static_cast<std::size_t>(t)]
-                .emplace_back(w, label[static_cast<std::size_t>(u)]);
+            ex.send(s, t, {w, label[static_cast<std::size_t>(u)]});
         }
       }
     });
@@ -285,20 +274,14 @@ Components PartitionedCSR::components() const {
       const Shard& sh = shards_[static_cast<std::size_t>(t)];
       auto& uf = uf_parent[static_cast<std::size_t>(t)];
       bool delta = false;
-      for (int s = 0; s < k; ++s) {
-        auto& inbox =
-            box[static_cast<std::size_t>(s) * static_cast<std::size_t>(k) +
-                static_cast<std::size_t>(t)];
-        for (const auto& [w, cand] : inbox) {
-          const vid_t root = uf[static_cast<std::size_t>(w - sh.first)];
-          auto& cur = label[static_cast<std::size_t>(sh.first + root)];
-          if (cand < cur) {
-            cur = cand;
-            delta = true;
-          }
+      ex.deliver(t, [&](const VertexMessage<vid_t>& m) {
+        const vid_t root = uf[static_cast<std::size_t>(m.dest - sh.first)];
+        auto& cur = label[static_cast<std::size_t>(sh.first + root)];
+        if (m.value < cur) {
+          cur = m.value;
+          delta = true;
         }
-        inbox.clear();
-      }
+      });
       // Re-broadcast the class label to every member.
       for (vid_t i = 0; i < sh.owned(); ++i) {
         const vid_t root = uf[static_cast<std::size_t>(i)];
@@ -310,6 +293,7 @@ Components PartitionedCSR::components() const {
     any = false;
     for (int s = 0; s < k; ++s) any |= (changed[static_cast<std::size_t>(s)] != 0);
   }
+  SNAP_VALIDATE(ex);
 
   // Densify in original-id order (matches the flat kernel's convention).
   out.label.resize(static_cast<std::size_t>(n));
@@ -324,6 +308,129 @@ Components PartitionedCSR::components() const {
         dense[static_cast<std::size_t>(root)];
   }
   out.count = next_id;
+  return out;
+}
+
+PartitionedPageRank PartitionedCSR::pagerank(
+    const PageRankParams& params) const {
+  namespace prd = pagerank_detail;
+  PartitionedPageRank out;
+  const vid_t n = n_;
+  if (n == 0) return out;
+  SNAP_ASSERT(params.max_iters >= 0, "pagerank: max_iters ", params.max_iters,
+              " must be non-negative");
+  const int k = num_shards();
+  const std::uint64_t d_num = prd::quantized_damping(params.damping);
+  const std::uint64_t tol_mass = prd::residual_threshold(params.tol);
+  const auto un = static_cast<std::uint64_t>(n);
+
+  // Fixed-point state in NEW-id space; every entry is written only by its
+  // owner shard.  The initial split keys the remainder unit on ORIGINAL
+  // vertex ids — the flat spec — so the two engines start bitwise equal.
+  std::vector<std::uint64_t> mass(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+  const std::uint64_t share0 = kPageRankTotalMass / un;
+  const std::uint64_t rem0 = kPageRankTotalMass % un;
+  for_each_shard(k, [&](int s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    for (vid_t u = sh.first; u < sh.last; ++u) {
+      const auto old = static_cast<std::uint64_t>(
+          new_to_old_[static_cast<std::size_t>(u)]);
+      mass[static_cast<std::size_t>(u)] = share0 + (old < rem0 ? 1 : 0);
+    }
+  });
+
+  Exchange<VertexMessage<std::uint64_t>> ex(k);
+  std::vector<VertexCombiner<std::uint64_t>> combiner(
+      static_cast<std::size_t>(k));
+  for_each_shard(k, [&](int s) {
+    combiner[static_cast<std::size_t>(s)].init(n);
+  });
+  auto owner_of = [&](vid_t w) { return owner(w); };
+
+  std::vector<std::uint64_t> kept_part(static_cast<std::size_t>(k), 0);
+  std::vector<std::uint64_t> res_part(static_cast<std::size_t>(k), 0);
+  int iterations = 0;
+  std::uint64_t residual = 0;
+  for (int it = 0; it < params.max_iters; ++it) {
+    // Phase 1: each shard pushes its owned vertices' contributions — local
+    // targets straight into the owned slice of next[], cross-shard targets
+    // through the combiner (one message per touched boundary vertex).
+    for_each_shard(k, [&](int s) {
+      const Shard& sh = shards_[static_cast<std::size_t>(s)];
+      auto& comb = combiner[static_cast<std::size_t>(s)];
+      comb.begin_round();
+      for (vid_t u = sh.first; u < sh.last; ++u)
+        next[static_cast<std::size_t>(u)] = 0;
+      for (vid_t i = 0; i < sh.owned(); ++i) {
+        const eid_t lo = sh.offsets[static_cast<std::size_t>(i)];
+        const eid_t hi = sh.offsets[static_cast<std::size_t>(i) + 1];
+        const auto deg = static_cast<std::uint64_t>(hi - lo);
+        if (deg == 0) continue;
+        const std::uint64_t c =
+            mass[static_cast<std::size_t>(sh.first + i)] / deg;
+        for (eid_t a = lo; a < hi; ++a) {
+          const vid_t w = sh.adj[static_cast<std::size_t>(a)];
+          if (owner(w) == s)
+            next[static_cast<std::size_t>(w)] += c;
+          else
+            comb.add(w, c);
+        }
+      }
+      comb.flush(ex, s, owner_of);
+    });
+    // Phase 2: owners fold in the combined boundary mass, damp, and take
+    // their partial of the kept total (exact integer adds throughout).
+    for_each_shard(k, [&](int t) {
+      const Shard& sh = shards_[static_cast<std::size_t>(t)];
+      ex.deliver(t, [&](const VertexMessage<std::uint64_t>& m) {
+        next[static_cast<std::size_t>(m.dest)] += m.value;
+      });
+      std::uint64_t kept = 0;
+      for (vid_t u = sh.first; u < sh.last; ++u) {
+        auto& x = next[static_cast<std::size_t>(u)];
+        x = prd::damp(x, d_num);
+        kept += x;
+      }
+      kept_part[static_cast<std::size_t>(t)] = kept;
+    });
+    std::uint64_t kept = 0;
+    for (int s = 0; s < k; ++s) kept += kept_part[static_cast<std::size_t>(s)];
+    const std::uint64_t pool = kPageRankTotalMass - kept;
+    const std::uint64_t share = pool / un;
+    const std::uint64_t rem = pool % un;
+    // Phase 3: redistribute the pool (remainder keyed on original ids, the
+    // flat spec) and take residual partials.
+    for_each_shard(k, [&](int s) {
+      const Shard& sh = shards_[static_cast<std::size_t>(s)];
+      std::uint64_t res = 0;
+      for (vid_t u = sh.first; u < sh.last; ++u) {
+        const auto su = static_cast<std::size_t>(u);
+        const auto old =
+            static_cast<std::uint64_t>(new_to_old_[su]);
+        next[su] += share + (old < rem ? 1 : 0);
+        res += next[su] > mass[su] ? next[su] - mass[su] : mass[su] - next[su];
+      }
+      res_part[static_cast<std::size_t>(s)] = res;
+    });
+    residual = 0;
+    for (int s = 0; s < k; ++s)
+      residual += res_part[static_cast<std::size_t>(s)];
+    mass.swap(next);
+    iterations = it + 1;
+    if (tol_mass > 0 && residual <= tol_mass) break;
+  }
+  SNAP_VALIDATE(ex);
+  out.boundary_messages = ex.ledger().total_staged();
+  out.combined_messages = ex.ledger().total_combined();
+
+  // Back to original ids, then through the shared result conversion.
+  std::vector<std::uint64_t> flat_mass(static_cast<std::size_t>(n));
+  parallel::parallel_for(n, [&](vid_t v) {
+    flat_mass[static_cast<std::size_t>(v)] =
+        mass[static_cast<std::size_t>(old_to_new_[static_cast<std::size_t>(v)])];
+  });
+  out.result = prd::finalize(std::move(flat_mass), iterations, residual);
   return out;
 }
 

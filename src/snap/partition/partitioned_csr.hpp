@@ -15,11 +15,12 @@
 //
 // Kernels run "owner computes": thread s sweeps shard s's vertices and
 // writes only state it owns; discoveries that cross a shard boundary are
-// batched into per-(source, target) outboxes and applied by the target's
-// owner after a barrier — no cross-shard writes, no atomics, and the
-// communication structure is exactly what a future multi-process version
-// serializes.  Results are identical to the flat engines (the differential
-// suite checks BFS distances, component partitions and degrees) and
+// batched through the reusable Exchange layer (snap/partition/exchange.hpp)
+// and applied by the target's owner after a barrier — no cross-shard
+// writes, no atomics, and the communication structure is exactly what a
+// future multi-process version serializes.  Results are identical to the
+// flat engines (the differential suite checks BFS distances, component
+// partitions, degrees and PageRank mass vectors — the latter bitwise) and
 // deterministic at every thread count.
 
 #include <cstdint>
@@ -27,9 +28,24 @@
 
 #include "snap/graph/csr_graph.hpp"
 #include "snap/kernels/connected_components.hpp"
+#include "snap/kernels/pagerank.hpp"
 #include "snap/partition/multilevel.hpp"
 
 namespace snap {
+
+/// Result of the owner-computes partitioned PageRank: the flat
+/// PageRankResult surface (ranks and fixed-point mass in ORIGINAL id order,
+/// bitwise identical to pagerank() on the source graph) plus the exchange
+/// traffic the run generated.
+struct PartitionedPageRank {
+  PageRankResult result;
+  /// Combined boundary messages actually exchanged (one per touched
+  /// (sender shard, boundary vertex) pair per iteration).
+  std::uint64_t boundary_messages = 0;
+  /// Per-edge pushes the sum-combiner merged away — the traffic a naive
+  /// per-cut-edge push would have added on top of boundary_messages.
+  std::uint64_t combined_messages = 0;
+};
 
 struct PartitionedCSROptions {
   /// Number of shards; 0 = parallel::num_threads().
@@ -94,6 +110,17 @@ class PartitionedCSR {
 
   /// Per-vertex degrees (trivially shard-local; the sanity kernel).
   [[nodiscard]] std::vector<eid_t> degrees() const;
+
+  /// Owner-computes PageRank: each iteration every shard pushes its owned
+  /// vertices' damped rank mass, local targets directly and cross-shard
+  /// targets through the exchange layer with per-destination sum-combining
+  /// (O(boundary vertices) traffic instead of O(cut edges)).  The engine
+  /// works in the same 64-bit fixed point as the flat pagerank(), whose
+  /// exact integer adds make the combining invisible: the returned mass
+  /// vector is bitwise identical to the flat engine's at every
+  /// (threads x shards) combination.
+  [[nodiscard]] PartitionedPageRank pagerank(
+      const PageRankParams& params = {}) const;
 
  private:
   vid_t n_ = 0;

@@ -9,6 +9,7 @@
 #include "snap/community/louvain.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/kernels/connected_components.hpp"
+#include "snap/kernels/pagerank.hpp"
 #include "snap/metrics/metrics.hpp"
 #include "snap/server/service.hpp"
 #include "snap/stream/update_batch.hpp"
@@ -105,6 +106,9 @@ HttpResponse GraphService::route(const HttpRequest& request) {
   if (p == "/bc-topk")
     return is_get ? handle_bc_topk(request)
                   : error_response(405, "use GET /bc-topk");
+  if (p == "/pagerank-topk")
+    return is_get ? handle_pagerank_topk(request)
+                  : error_response(405, "use GET /pagerank-topk");
   if (p.rfind("/degree/", 0) == 0)
     return is_get ? handle_degree(p.substr(8))
                   : error_response(405, "use GET /degree/{v}");
@@ -347,6 +351,58 @@ HttpResponse GraphService::handle_bc_topk(const HttpRequest& request) {
   out.set("samples",
           static_cast<std::int64_t>(std::min<std::int64_t>(samples, n)));
   out.set("seed", seed);
+  out.set("top", top);
+  return json_response(200, out);
+}
+
+HttpResponse GraphService::handle_pagerank_topk(const HttpRequest& request) {
+  std::int64_t k = 0;
+  std::int64_t iters = 0;
+  if (!parse_int_param(request, "k", 10, &k) ||
+      !parse_int_param(request, "iters", 20, &iters))
+    return error_response(400, "k and iters must be non-negative integers");
+  if (k < 1 || iters < 1)
+    return error_response(400, "k and iters must be >= 1");
+
+  const stream::SnapshotHandle snap = sg_.pin();
+  const CSRGraph& g = snap->graph();
+  if (g.directed())
+    return error_response(400, "pagerank requires an undirected graph");
+  const vid_t n = g.num_vertices();
+  if (n == 0) return error_response(400, "graph is empty");
+
+  // Fixed work (tol = 0, exactly `iters` fixed-point iterations): the
+  // response is a pure function of (snapshot epoch, k, iters) — byte-exact
+  // across repeats, which the service test pins.
+  PageRankParams params;
+  params.max_iters = static_cast<int>(std::min<std::int64_t>(iters, 10000));
+  params.tol = 0.0;
+  const PageRankResult r = pagerank(g, params);
+
+  // Top-k by rank descending, ties toward the smaller vertex id.
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  const auto kk = static_cast<std::size_t>(std::min<std::int64_t>(k, n));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(kk),
+                    order.end(), [&r](vid_t a, vid_t b) {
+                      const double ra = r.rank[static_cast<std::size_t>(a)];
+                      const double rb = r.rank[static_cast<std::size_t>(b)];
+                      if (ra != rb) return ra > rb;
+                      return a < b;
+                    });
+
+  Value top = Value::array();
+  for (std::size_t i = 0; i < kk; ++i) {
+    Value row = Value::object();
+    row.set("vertex", order[i]);
+    row.set("rank", r.rank[static_cast<std::size_t>(order[i])]);
+    top.push_back(row);
+  }
+  Value out = Value::object();
+  out.set("epoch", static_cast<std::int64_t>(snap->epoch()));
+  out.set("k", static_cast<std::int64_t>(kk));
+  out.set("iters", static_cast<std::int64_t>(params.max_iters));
   out.set("top", top);
   return json_response(200, out);
 }

@@ -33,6 +33,7 @@ namespace snap::server {
 ///   GET  /clustering
 ///   GET  /community?algo=louvain|plp
 ///   GET  /bc-topk?k=K&samples=S[&seed=N]
+///   GET  /pagerank-topk?k=K&iters=N
 ///   POST /shutdown
 class GraphService final : public HttpHandler {
  public:
@@ -67,6 +68,7 @@ class GraphService final : public HttpHandler {
   HttpResponse handle_clustering();
   HttpResponse handle_community(const HttpRequest& request);
   HttpResponse handle_bc_topk(const HttpRequest& request);
+  HttpResponse handle_pagerank_topk(const HttpRequest& request);
   HttpResponse handle_shutdown();
 
   // sg_ itself is not GUARDED_BY(write_mu_): its read surface (pin(),

@@ -99,6 +99,23 @@ TEST_F(CliTest, ConvertRoundtripThroughEveryFormat) {
   for (const auto& p : {net, metis, bin, back}) std::filesystem::remove(p);
 }
 
+TEST_F(CliTest, PageRankTopkAndRankFile) {
+  const std::string out = tmp("ranks.txt");
+  EXPECT_EQ(run("pagerank --in " + graph_path_ +
+                " --top 5 --iters 20 --out " + out),
+            0);
+  std::ifstream in(out);
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 500);
+  std::filesystem::remove(out);
+}
+
+TEST_F(CliTest, PageRankMissingFileFails) {
+  EXPECT_NE(run("pagerank --in /nonexistent/g.txt"), 0);
+}
+
 TEST_F(CliTest, RobustnessAttacks) {
   for (const char* attack : {"degree", "random"}) {
     EXPECT_EQ(run("robustness --in " + graph_path_ + " --attack " + attack +

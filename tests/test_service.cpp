@@ -23,6 +23,7 @@
 #include "snap/community/louvain.hpp"
 #include "snap/graph/csr_graph.hpp"
 #include "snap/kernels/connected_components.hpp"
+#include "snap/kernels/pagerank.hpp"
 #include "snap/metrics/metrics.hpp"
 #include "snap/server/http.hpp"
 #include "snap/server/service.hpp"
@@ -272,6 +273,60 @@ TEST_F(ServiceTest, BcTopkMatchesOfflineKernel) {
   EXPECT_EQ(r.body, expected.dump());
 }
 
+TEST_F(ServiceTest, PageRankTopkMatchesOfflineKernel) {
+  seed();
+  const CSRGraph g = offline_graph();
+  // The endpoint runs fixed work (tol = 0, exactly `iters` iterations), so
+  // the body is a pure function of (epoch, k, iters) — byte-exact against
+  // the offline kernel run with identical parameters.
+  snap::PageRankParams params;
+  params.max_iters = 20;
+  params.tol = 0.0;
+  const snap::PageRankResult pr = snap::pagerank(g, params);
+  std::vector<vid_t> order(kN);
+  for (vid_t v = 0; v < kN; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&pr](vid_t a, vid_t b) {
+    const double ra = pr.rank[static_cast<std::size_t>(a)];
+    const double rb = pr.rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  Value top = Value::array();
+  for (int i = 0; i < 4; ++i) {
+    Value row = Value::object();
+    row.set("vertex", order[static_cast<std::size_t>(i)]);
+    row.set("rank", pr.rank[static_cast<std::size_t>(
+                        order[static_cast<std::size_t>(i)])]);
+    top.push_back(row);
+  }
+  Value expected = Value::object();
+  expected.set("epoch", 1);
+  expected.set("k", 4);
+  expected.set("iters", 20);
+  expected.set("top", top);
+  const HttpResult r = get("/pagerank-topk?k=4&iters=20");
+  ASSERT_EQ(r.status, 200) << r.error;
+  EXPECT_EQ(r.body, expected.dump());
+  // Triangle members out-rank the tail and the detached pair; vertex 2
+  // (triangle + tail) carries the most.
+  EXPECT_EQ(order[0], 2);
+}
+
+TEST_F(ServiceTest, PageRankTopkDefaultsAreStable) {
+  seed();
+  // Defaults k=10 (clamped to n) and iters=20: two identical requests must
+  // return identical bytes — same pinned epoch, deterministic kernel.
+  const HttpResult a = get("/pagerank-topk");
+  const HttpResult b = get("/pagerank-topk");
+  ASSERT_EQ(a.status, 200) << a.error;
+  EXPECT_EQ(a.body, b.body);
+  Value doc;
+  ASSERT_TRUE(snap::json::parse(a.body, &doc, nullptr));
+  EXPECT_EQ(doc.get("k").as_int64(), static_cast<std::int64_t>(kN));
+  EXPECT_EQ(doc.get("iters").as_int64(), 20);
+  EXPECT_EQ(doc.get("epoch").as_int64(), 1);
+}
+
 TEST_F(ServiceTest, DeleteUpdatesShrinkTheGraph) {
   seed();
   Value updates = Value::array();
@@ -322,6 +377,10 @@ TEST_F(ServiceTest, ErrorPaths) {
       {"GET", "/community?algo=sorcery", "", 400},
       {"GET", "/bc-topk?k=0", "", 400},
       {"GET", "/bc-topk?k=frog", "", 400},
+      {"GET", "/pagerank-topk?k=0", "", 400},
+      {"GET", "/pagerank-topk?iters=0", "", 400},
+      {"GET", "/pagerank-topk?iters=nope", "", 400},
+      {"POST", "/pagerank-topk", "", 405},
   };
   for (const Case& c : cases) {
     const HttpResult r =

@@ -8,6 +8,7 @@
 //   snap-cli community --in g.txt --algo pma --out membership.txt
 //   snap-cli partition --in g.txt --k 32 --method kway --out parts.txt
 //   snap-cli centrality --in g.txt --metric betweenness --top 10
+//   snap-cli pagerank  --in g.txt --top 10 --iters 50
 //   snap-cli convert   --in g.txt --out g.net
 //
 // Formats are inferred from extensions (.txt/.el edge list, .gr/.dimacs
@@ -40,6 +41,7 @@
 #include "snap/io/edge_list_io.hpp"
 #include "snap/io/metis_io.hpp"
 #include "snap/io/pajek_io.hpp"
+#include "snap/kernels/pagerank.hpp"
 #include "snap/metrics/metrics.hpp"
 #include "snap/metrics/robustness.hpp"
 #include "snap/partition/multilevel.hpp"
@@ -341,6 +343,42 @@ int cmd_centrality(const Args& a) {
   return 0;
 }
 
+int cmd_pagerank(const Args& a) {
+  CSRGraph g = load(a);
+  if (g.directed()) {
+    std::printf("folding directed input to undirected (as the paper does)\n");
+    g = g.as_undirected();
+  }
+  PageRankParams p;
+  p.damping = a.getf("damping", 0.85);
+  p.max_iters = static_cast<int>(a.geti("iters", 50));
+  p.tol = a.getf("tol", 1e-9);
+  WallTimer t;
+  const PageRankResult r = pagerank(g, p);
+  const auto top = static_cast<std::size_t>(a.geti("top", 10));
+  std::vector<vid_t> idx(r.rank.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<vid_t>(i);
+  const std::size_t k = std::min(top, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::int64_t>(k),
+                    idx.end(),
+                    [&](vid_t x, vid_t y) { return r.rank[x] > r.rank[y]; });
+  std::printf("pagerank: %d iterations, residual %.3g (%.2fs)\n", r.iterations,
+              r.residual, t.elapsed_s());
+  std::printf("top %zu by pagerank:\n", k);
+  for (std::size_t i = 0; i < k; ++i)
+    std::printf("  %2zu. v%-10lld %.6g\n", i + 1,
+                static_cast<long long>(idx[i]),
+                r.rank[static_cast<std::size_t>(idx[i])]);
+  if (a.has("out")) {
+    std::ofstream out(a.get("out"));
+    for (std::size_t v = 0; v < r.rank.size(); ++v)
+      out << v << ' ' << r.rank[v] << "\n";
+    std::printf("wrote %zu ranks to %s\n", r.rank.size(),
+                a.get("out").c_str());
+  }
+  return 0;
+}
+
 int cmd_robustness(const Args& a) {
   const CSRGraph loaded = load(a);
   const CSRGraph g = loaded.directed() ? loaded.as_undirected() : loaded;
@@ -465,6 +503,8 @@ void usage() {
       "  partition  --in FILE --k K [--method kway|recursive|lanczos|rqi]\n"
       "  centrality --in FILE [--metric degree|closeness|betweenness|stress]\n"
       "             [--top N] [--samples N]\n"
+      "  pagerank   --in FILE [--top N] [--iters N] [--damping D] [--tol T]\n"
+      "             [--out FILE]\n"
       "  robustness --in FILE [--attack degree|random] [--steps N]\n"
       "  serve      [--host H] [--port P] [--n N] [--in FILE]\n"
       "             [--http-threads T]   (POST /shutdown stops it)\n"
@@ -491,6 +531,7 @@ int main(int argc, char** argv) {
     if (cmd == "community") return cmd_community(args);
     if (cmd == "partition") return cmd_partition(args);
     if (cmd == "centrality") return cmd_centrality(args);
+    if (cmd == "pagerank") return cmd_pagerank(args);
     if (cmd == "robustness") return cmd_robustness(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
